@@ -1,0 +1,66 @@
+"""Ablation A1: the inc/dec design space of Algorithm 1.
+
+Section 3's design guidance: "the best configurations are those that grow
+the quantum in very small increments (such as 2% to 5%) but decrease it
+very quickly", with dec near 1/sqrt(max_Q).  We sweep (inc, dec) over one
+communication-heavy workload (IS) and one compute-heavy workload (EP) at 8
+nodes and assert the guidance holds in the reproduction:
+
+* weak braking (large dec) costs accuracy on the communication-heavy
+  workload,
+* aggressive growth (large inc) costs accuracy relative to gentle growth,
+* the paper's own settings sit in the sweep's accurate-and-fast region.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.sweep import sweep_inc_dec
+from repro.workloads import EpWorkload, IsWorkload
+
+from conftest import BENCH_SEED
+
+INCS = (1.03, 1.05, 1.30)
+DECS = (0.02, 0.50, 0.90)
+
+
+def run_sweeps():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    return (
+        sweep_inc_dec(runner, IsWorkload(), 8, incs=INCS, decs=DECS),
+        sweep_inc_dec(runner, EpWorkload(), 8, incs=INCS, decs=DECS),
+    )
+
+
+def find(sweep, inc, dec):
+    for point in sweep.points:
+        if point.inc == inc and point.dec == dec:
+            return point
+    raise KeyError((inc, dec))
+
+
+def test_ablation_inc_dec(benchmark, save_artifact):
+    is_sweep, ep_sweep = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_incdec", is_sweep.render() + "\n\n" + ep_sweep.render()
+    )
+
+    # On IS, hard braking beats weak braking on accuracy for gentle growth.
+    gentle_hard = find(is_sweep, 1.03, 0.02)
+    gentle_weak = find(is_sweep, 1.03, 0.90)
+    assert gentle_hard.row.accuracy_error < gentle_weak.row.accuracy_error
+
+    # Aggressive growth with weak braking is the least accurate corner.
+    reckless = find(is_sweep, 1.30, 0.90)
+    assert reckless.row.accuracy_error > gentle_hard.row.accuracy_error
+
+    # The paper's settings stay accurate on the hostile workload...
+    for inc in (1.03, 1.05):
+        assert find(is_sweep, inc, 0.02).row.accuracy_error < 0.05
+
+    # ...while still extracting large speedups on the friendly one.
+    assert find(ep_sweep, 1.03, 0.02).row.speedup > 20
+    assert find(ep_sweep, 1.05, 0.02).row.speedup > 20
+
+    # On EP, growth rate is the speed lever: faster growth, faster runs.
+    assert find(ep_sweep, 1.30, 0.02).row.speedup > find(ep_sweep, 1.03, 0.02).row.speedup

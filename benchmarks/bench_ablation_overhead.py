@@ -1,0 +1,89 @@
+"""Figure 5 companion: where the synchronization time goes.
+
+The paper's Figure 5 illustrates the two costs of quantum synchronization:
+the barrier "bubbles" at every quantum end and the heterogeneity of node
+speeds ("basically the slowest node sets the pace").  This benchmark
+measures both directly from the driver's host-cost breakdown:
+
+* the barrier fraction of total host time collapses as the quantum grows,
+* host-speed jitter inflates the cost of a run (max over nodes per
+  quantum) relative to a jitter-free cluster, increasingly so with more
+  nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core import ClusterConfig, ClusterSimulator, FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness.report import format_table, percent
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import HostModelParams, SimulatedNode
+from repro.workloads import EpWorkload
+
+from conftest import BENCH_SEED
+
+US = MICROSECOND
+
+
+def run(quantum, size, jitter_sigma):
+    workload = EpWorkload(total_ops=4e8)
+    nodes = [SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(size))]
+    controller = NetworkController(size, PAPER_NETWORK(size))
+    config = ClusterConfig(
+        seed=BENCH_SEED,
+        host_params=HostModelParams(jitter_sigma=jitter_sigma, hetero_sigma=0.0),
+    )
+    return ClusterSimulator(nodes, controller, FixedQuantumPolicy(quantum), config).run()
+
+
+def run_overheads():
+    barrier_rows = []
+    for quantum in (US, 10 * US, 100 * US, 1000 * US):
+        result = run(quantum, 8, jitter_sigma=0.2)
+        barrier_rows.append(
+            (quantum, result.breakdown.barrier_fraction, result.host_time)
+        )
+
+    pace_rows = []
+    for size in (2, 8):
+        jittered = run(10 * US, size, jitter_sigma=0.3)
+        uniform = run(10 * US, size, jitter_sigma=0.0)
+        pace_rows.append(
+            (size, jittered.breakdown.node_simulation / uniform.breakdown.node_simulation)
+        )
+    return barrier_rows, pace_rows
+
+
+def test_ablation_sync_overhead(benchmark, save_artifact):
+    barrier_rows, pace_rows = benchmark.pedantic(run_overheads, rounds=1, iterations=1)
+
+    text = format_table(
+        ["quantum", "barrier fraction", "host time"],
+        [
+            (f"{q // US}us", percent(fraction, 1), f"{host:.1f}s")
+            for q, fraction, host in barrier_rows
+        ],
+        "Synchronization bubbles (EP, 8 nodes)",
+    )
+    text += "\n\n" + format_table(
+        ["nodes", "slowest-sets-the-pace inflation"],
+        [(size, f"{ratio:.3f}x") for size, ratio in pace_rows],
+        "Host cost vs a jitter-free cluster (Q=10us)",
+    )
+    save_artifact("ablation_overhead", text)
+
+    # Barrier dominance decays monotonically with the quantum.
+    fractions = [fraction for _, fraction, _ in barrier_rows]
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[0] > 0.9  # 1us: nearly all barrier
+    assert fractions[-1] < 0.5  # 1000us: amortized
+
+    # Total host time shrinks as the quantum grows.
+    hosts = [host for _, _, host in barrier_rows]
+    assert hosts == sorted(hosts, reverse=True)
+
+    # The slowest node sets the pace: jitter inflates node-simulation cost,
+    # and more nodes make the max-over-nodes worse.
+    inflations = dict(pace_rows)
+    assert inflations[2] > 1.0
+    assert inflations[8] > inflations[2]

@@ -1,0 +1,131 @@
+"""Ablation A2: synchronization strategy comparison.
+
+Prices the alternatives the paper argues against (Sections 2-3) on one
+workload, next to the quantum schemes:
+
+* no synchronization — fast, functionally correct, timing indeterminable
+  (different seeds report different application timing);
+* Chandy-Misra null messages — exact, but O(N^2) protocol messages per
+  lookahead window;
+* optimistic checkpoint/rollback — exact, but a full-system checkpoint
+  costs ~35 host seconds (the paper's measurement), which is hopeless;
+* fixed 1us quantum — exact, O(N) barrier per microsecond;
+* adaptive quantum — the paper's answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AdaptiveQuantumPolicy,
+    ClusterConfig,
+    ClusterSimulator,
+    FixedQuantumPolicy,
+)
+from repro.core.baselines import (
+    free_running,
+    null_message_estimate,
+    optimistic_estimate,
+)
+from repro.engine.units import MICROSECOND, MILLISECOND
+from repro.harness.report import format_table
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import SimulatedNode
+from repro.workloads import PhaseWorkload
+
+from conftest import BENCH_SEED
+
+US = MICROSECOND
+SIZE = 8
+
+
+def build(workload, seed):
+    nodes = [SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(SIZE))]
+    controller = NetworkController(SIZE, PAPER_NETWORK(SIZE))
+    return nodes, controller, ClusterConfig(seed=seed)
+
+
+def workload_factory():
+    return PhaseWorkload(phases=6, compute_ops=4e7, pattern="alltoall", message_bytes=8192)
+
+
+def run_strategies():
+    rows = []
+
+    # Ground truth: fixed 1us quantum.
+    workload = workload_factory()
+    nodes, controller, config = build(workload, BENCH_SEED)
+    truth = ClusterSimulator(nodes, controller, FixedQuantumPolicy(US), config).run()
+    rows.append(("fixed 1us quantum", truth.host_time, 0.0, "exact (ground truth)"))
+
+    # Adaptive quantum.
+    workload = workload_factory()
+    nodes, controller, config = build(workload, BENCH_SEED)
+    adaptive = ClusterSimulator(
+        nodes, controller, AdaptiveQuantumPolicy(US, 1000 * US), config
+    ).run()
+    adaptive_error = workload.accuracy_error(adaptive, truth)
+    rows.append(
+        ("adaptive quantum", adaptive.host_time, adaptive_error, "bounded error")
+    )
+
+    # No synchronization: run twice with different seeds to expose the
+    # indeterminable timing.
+    free_metrics = []
+    free_host = 0.0
+    for seed in (BENCH_SEED, BENCH_SEED + 1):
+        workload = workload_factory()
+        nodes, controller, config = build(workload, seed)
+        free = free_running(nodes, controller, config).run()
+        free_metrics.append(workload.metric(free))
+        free_host = free.host_time
+    free_spread = abs(free_metrics[0] - free_metrics[1]) / max(free_metrics)
+    rows.append(
+        ("no synchronization", free_host, free_spread, "error varies with seed")
+    )
+
+    # Analytic estimates for the protocols the paper rules out.
+    null = null_message_estimate(truth, SIZE, lookahead=US)
+    rows.append((null.strategy, null.host_time, 0.0, null.detail))
+    optimistic = optimistic_estimate(truth, SIZE, checkpoint_interval=MILLISECOND)
+    rows.append((optimistic.strategy, optimistic.host_time, 0.0, optimistic.detail))
+
+    return truth, adaptive, free_spread, null, optimistic, rows
+
+
+def test_ablation_strategies(benchmark, save_artifact):
+    truth, adaptive, free_spread, null, optimistic, rows = benchmark.pedantic(
+        run_strategies, rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["strategy", "host time", "timing error", "notes"],
+        [(n, f"{h:.2f}s", f"{100 * e:.2f}%", d) for n, h, e, d in rows],
+        "Synchronization strategies on a phase workload (8 nodes)",
+    )
+    save_artifact("ablation_strategies", table)
+
+    # Adaptive beats the exact schemes on host time...
+    assert adaptive.host_time < truth.host_time
+    assert adaptive.host_time < null.host_time
+    assert adaptive.host_time < optimistic.host_time
+    # ...with small bounded error.
+    assert rows[1][2] < 0.05
+
+    # Free running is the only thing faster, and its timing is not a
+    # measurement: seeds disagree by far more than the adaptive error.
+    assert free_spread > rows[1][2]
+
+    # The paper's Section 3 verdict on optimism: checkpointing a
+    # full-system simulator makes Time Warp orders of magnitude slower
+    # than even the fully synchronized ground truth.
+    assert optimistic.host_time > 10 * truth.host_time
+
+    # Null messages pay an O(N^2) protocol bill where the barrier pays
+    # O(N): at 8 nodes the two are comparable, but scaling the same
+    # timeline to 64 LPs inflates the null-message overhead 72x
+    # (64*63 / 8*7) while the barrier would grow ~3.9x (linear term).
+    null64 = null_message_estimate(truth, 64, lookahead=US)
+    assert null64.sync_overhead == pytest.approx(72 * null.sync_overhead)
+    assert null64.host_time > 10 * truth.host_time

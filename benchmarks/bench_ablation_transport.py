@@ -1,0 +1,101 @@
+"""Ablation A3: transport feedback — the paper-gap amplifier, demonstrated.
+
+EXPERIMENTS.md attributes the magnitude gap between our IS dilations and
+the paper's 150x to guest-transport feedback: the paper's applications ran
+over TCP, whose windowed bulk transfers deliver ``window / RTT`` bytes per
+second — so a quantum that inflates the observed RTT collapses per-flow
+throughput by the same factor, *compounding* the plain straggler delay.
+
+This benchmark turns the windowed transport on (``repro.node.transport``)
+over a bulk-streaming workload and measures the compounding directly:
+
+* eager model: a 1000 us quantum dilates the transfer mildly,
+* 64 KiB window: dilation several-fold,
+* 16 KiB window: dilation approaching an order of magnitude —
+
+while the **adaptive quantum remains exact under every transport**, which
+strengthens the paper's thesis: the tighter the timing feedback in the
+guest stack, the more an adaptive quantum matters.
+"""
+
+from __future__ import annotations
+
+from repro.core.quantum import AdaptiveQuantumPolicy, FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness.configs import PolicySpec
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.report import format_table, percent, times
+from repro.node.transport import TransportConfig
+from repro.workloads import StreamWorkload
+
+from conftest import BENCH_SEED
+
+US = MICROSECOND
+
+TRANSPORTS = [
+    ("eager (no window)", None),
+    ("windowed 64KiB", TransportConfig(window_bytes=65_536)),
+    ("windowed 16KiB", TransportConfig(window_bytes=16_384)),
+]
+
+POLICIES = [
+    PolicySpec("100us", lambda: FixedQuantumPolicy(100 * US)),
+    PolicySpec("1000us", lambda: FixedQuantumPolicy(1000 * US)),
+    PolicySpec("dyn 1:1000", lambda: AdaptiveQuantumPolicy(US, 1000 * US)),
+]
+
+
+def run_grid():
+    grid = {}
+    for transport_label, config in TRANSPORTS:
+        runner = ExperimentRunner(seed=BENCH_SEED, transport=config)
+        workload = StreamWorkload()
+        truth = runner.ground_truth(workload, 2)
+        for spec in POLICIES:
+            row = runner.run_and_compare(workload, 2, spec)
+            grid[(transport_label, spec.label)] = (row, truth.metric)
+    return grid
+
+
+def test_ablation_transport_feedback(benchmark, save_artifact):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    rows = []
+    for (transport_label, policy_label), (row, truth_metric) in grid.items():
+        rows.append(
+            [
+                transport_label,
+                policy_label,
+                f"{truth_metric:.0f} MB/s",
+                percent(row.accuracy_error),
+                times(row.exec_time_ratio, 2),
+            ]
+        )
+    save_artifact(
+        "ablation_transport",
+        format_table(
+            ["transport", "quantum", "true throughput", "error", "dilation"],
+            rows,
+            "Transport feedback under quantum synchronization (2-node bulk stream)",
+        ),
+    )
+
+    def dilation(transport, policy):
+        return grid[(transport, policy)][0].exec_time_ratio
+
+    # Windowing compounds the quantum distortion, monotonically in window
+    # tightness, at both fixed quanta.
+    for policy in ("100us", "1000us"):
+        assert (
+            dilation("eager (no window)", policy)
+            < dilation("windowed 64KiB", policy)
+            < dilation("windowed 16KiB", policy)
+        )
+    # The compounding is large where the paper's was: several-fold beyond
+    # the eager model's distortion at the big quantum.
+    assert dilation("windowed 16KiB", "1000us") > 2 * dilation("eager (no window)", "1000us")
+
+    # And the adaptive quantum neutralises it entirely — under every
+    # transport, the adaptive run's error stays below half a percent.
+    for transport_label, _ in TRANSPORTS:
+        assert grid[(transport_label, "dyn 1:1000")][0].accuracy_error < 0.005

@@ -1,0 +1,103 @@
+"""Figure 3: the four quantum-synchronization scenarios, reconstructed.
+
+The paper illustrates what happens to a single packet round trip when two
+nodes simulate at different speeds inside a 10-time-unit quantum:
+
+  (a) equal speeds         -> the ideal round trip,
+  (b) node 1 faster        -> the reply is a straggler, latency inflated,
+  (c) node 1 slower        -> latency can only stay accurate because the
+                              controller *delays* delivery to the due time,
+  (d) receiver already at the barrier -> the packet queues for the next
+                              quantum and latency snaps to the boundary.
+
+We drive the real NetworkController with a scripted cluster state (two
+nodes with chosen rates inside one quantum) and report the delivery each
+scenario produces.
+"""
+
+from __future__ import annotations
+
+from repro.engine.units import MICROSECOND
+from repro.harness.report import format_table
+from repro.network import DeliveryKind, NetworkController, Packet, UniformLatencyModel
+
+
+US = MICROSECOND
+QUANTUM = 10 * US
+LATENCY = 2 * US
+
+
+class ScriptedCluster:
+    """Two nodes advancing linearly at fixed rates inside one quantum."""
+
+    def __init__(self, rate0: float, rate1: float) -> None:
+        self.rates = (rate0, rate1)  # simulated ns per host second
+
+    def quantum_window(self):
+        return (0, QUANTUM)
+
+    def node_position_at(self, node: int, host_time: float) -> int:
+        return min(round(self.rates[node] * host_time), QUANTUM)
+
+
+def one_way(rate_sender: float, rate_receiver: float, send_time: int, sender_node: int):
+    """Route one frame and return (kind, deliver_time, delay_error)."""
+    rates = (rate_sender, rate_receiver) if sender_node == 0 else (rate_receiver, rate_sender)
+    controller = NetworkController(2, UniformLatencyModel(LATENCY))
+    controller.bind(ScriptedCluster(*rates))
+    packet = Packet(
+        src=sender_node, dst=1 - sender_node, size_bytes=128, send_time=send_time
+    )
+    sender_host = send_time / rates[sender_node]
+    decisions = controller.submit(packet, sender_host)
+    if decisions:
+        decision = decisions[0]
+    else:
+        decision = controller.release_due(QUANTUM, 2 * QUANTUM)[0]
+    return decision.kind, decision.deliver_time, packet.delay_error
+
+
+def scenario_rows():
+    rows = []
+    # (a) equal speeds: delivery is exact.
+    kind, deliver, error = one_way(1000.0, 1000.0, send_time=3 * US, sender_node=0)
+    rows.append(("(a) equal speeds", kind.value, deliver / 1000, error / 1000))
+    # (b) sender slow, receiver fast: receiver has simulated past the due
+    # time when the packet functionally arrives -> straggler, longer latency.
+    kind, deliver, error = one_way(800.0, 2000.0, send_time=3 * US, sender_node=0)
+    rows.append(("(b) receiver raced ahead", kind.value, deliver / 1000, error / 1000))
+    # (c) sender fast, receiver slow: receiver has not reached the due time,
+    # the controller schedules the exact delivery ("delay the delivery of
+    # the packet until Node 1 reaches the correct time").
+    kind, deliver, error = one_way(2000.0, 800.0, send_time=3 * US, sender_node=0)
+    rows.append(("(c) receiver behind", kind.value, deliver / 1000, error / 1000))
+    # (d) receiver already finished its quantum: queue to the next quantum,
+    # latency snaps to the boundary.
+    kind, deliver, error = one_way(500.0, 5000.0, send_time=4 * US, sender_node=0)
+    rows.append(("(d) receiver at barrier", kind.value, deliver / 1000, error / 1000))
+    return rows
+
+
+def test_fig3_scenarios(benchmark, save_artifact):
+    rows = benchmark.pedantic(scenario_rows, rounds=1, iterations=1)
+
+    table = format_table(
+        ["scenario", "delivery", "deliver at (us)", "extra delay (us)"],
+        [(name, kind, f"{at:.2f}", f"{err:.2f}") for name, kind, at, err in rows],
+        "Figure 3 — delivery outcomes in a 10us quantum (latency 2us)",
+    )
+    save_artifact("fig3_scenarios", table)
+
+    by_name = {row[0]: row for row in rows}
+    # (a): exact delivery at send + latency.
+    assert by_name["(a) equal speeds"][1] == DeliveryKind.EXACT_NOW.value
+    assert by_name["(a) equal speeds"][3] == 0.0
+    # (b): straggler with positive extra delay, inside the quantum.
+    assert by_name["(b) receiver raced ahead"][1] == DeliveryKind.STRAGGLER_NOW.value
+    assert by_name["(b) receiver raced ahead"][3] > 0.0
+    # (c): exact even though the receiver lags — delivery is *scheduled*.
+    assert by_name["(c) receiver behind"][1] == DeliveryKind.EXACT_NOW.value
+    assert by_name["(c) receiver behind"][3] == 0.0
+    # (d): snapped to the next quantum boundary.
+    assert by_name["(d) receiver at barrier"][1] == DeliveryKind.STRAGGLER_NEXT_QUANTUM.value
+    assert by_name["(d) receiver at barrier"][2] == QUANTUM / 1000

@@ -1,0 +1,61 @@
+"""Figure 6: NAS accuracy (left) and speedup (right), 2/4/8 nodes.
+
+Regenerates the paper's NAS matrix: five kernels, harmonic-mean MOPS
+aggregation, all six quantum configurations.  Shape assertions encode the
+paper's qualitative claims:
+
+* longer fixed quanta are progressively more harmful as node count grows,
+* the adaptive configurations stay within a few percent of ground truth,
+* Q = 1000us buys the largest speedup at the worst accuracy,
+* adaptive speedup lands between the 10us and 1000us fixed quanta.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.experiment import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def run_figure6():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    return figures.figure6(runner)
+
+
+def test_fig6_nas_matrix(benchmark, save_artifact):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_artifact(
+        "fig6_nas", result.render("Figure 6 — NAS (harmonic mean over EP/IS/CG/MG/LU)")
+    )
+
+    # Accuracy degrades with quantum size at every cluster size.
+    for size in (2, 4, 8):
+        errors = [result.cell(label, size).accuracy_error for label in ("10", "100", "1k")]
+        assert errors == sorted(errors), f"error not monotone in Q at {size} nodes"
+
+    # ... and degrades with node count for the big quantum (paper: "longer
+    # quanta is progressively more harmful ... as the number of nodes
+    # increases").
+    big_q_errors = [result.cell("1k", size).accuracy_error for size in (2, 4, 8)]
+    assert big_q_errors == sorted(big_q_errors)
+
+    # Adaptive accuracy stays small at 8 nodes (paper: < 5%).
+    for label in ("dyn 1k 1.03:0.02", "dyn 1k 1.05:0.02"):
+        assert result.cell(label, 8).accuracy_error < 0.05
+
+    # The 1000us quantum is the speed ceiling and pays the worst accuracy.
+    ceiling = result.cell("1k", 8)
+    assert ceiling.speedup > 50
+    assert ceiling.accuracy_error > 0.15
+
+    # Adaptive speedup sits between the fixed 10us and 1000us extremes and
+    # is substantial in absolute terms (paper: ~26x at 8 nodes).
+    for label in ("dyn 1k 1.03:0.02", "dyn 1k 1.05:0.02"):
+        cell = result.cell(label, 8)
+        assert result.cell("10", 8).speedup < cell.speedup < ceiling.speedup
+        assert cell.speedup > 10
+
+    # dyn 2 (5% growth) is faster but no more accurate than dyn 1 (3%).
+    dyn1, dyn2 = result.cell("dyn 1k 1.03:0.02", 8), result.cell("dyn 1k 1.05:0.02", 8)
+    assert dyn2.speedup > dyn1.speedup

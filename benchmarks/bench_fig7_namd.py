@@ -1,0 +1,48 @@
+"""Figure 7: NAMD accuracy (left) and speedup (right), 2/4/8 nodes.
+
+The abstract's headline claim lives here: "in the simulation of an 8-node
+cluster running NAMD we show an acceleration factor of 26x over the
+deterministic ground truth simulation, at less than a 1% accuracy error."
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.experiment import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def run_figure7():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    return figures.figure7(runner)
+
+
+def test_fig7_namd_matrix(benchmark, save_artifact):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    save_artifact("fig7_namd", result.render("Figure 7 — NAMD"))
+
+    # Accuracy degrades with quantum size at every cluster size.
+    for size in (2, 4, 8):
+        errors = [result.cell(label, size).accuracy_error for label in ("10", "100", "1k")]
+        assert errors == sorted(errors)
+
+    # The paper's Figure 7 text: adaptive error "always under 6% for our
+    # worst case, the 5% acceleration mode for 8-node system", while the
+    # fastest fixed configurations show much bigger errors.
+    for label in ("dyn 1k 1.03:0.02", "dyn 1k 1.05:0.02"):
+        for size in (2, 4, 8):
+            assert result.cell(label, size).accuracy_error < 0.06
+    assert result.cell("1k", 8).accuracy_error > result.cell(
+        "dyn 1k 1.05:0.02", 8
+    ).accuracy_error * 2
+
+    # Headline: >= ~20x adaptive speedup at 8 nodes with < 1% error
+    # (paper: 26x at < 1%).
+    headline = result.cell("dyn 1k 1.03:0.02", 8)
+    assert headline.speedup > 18
+    assert headline.accuracy_error < 0.01
+
+    # "The speed figures are as impressive as NAS": the 1000us ceiling is
+    # in the same band as Figure 6's.
+    assert result.cell("1k", 8).speedup > 50

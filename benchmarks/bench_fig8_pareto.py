@@ -1,0 +1,53 @@
+"""Figure 8: the Pareto optimality curve at 8 nodes.
+
+Every experiment (NAS aggregate and NAMD, all configurations) becomes a
+point in (accuracy error, speedup) space.  The paper's claim: "All
+adaptive configurations lie in or very near the Pareto curve, and can thus
+be considered nearly optimal."
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.experiment import ExperimentRunner
+from repro.metrics.pareto import distance_to_front, pareto_front
+
+from conftest import BENCH_SEED
+
+
+def run_figure8():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    return figures.figure8(runner, size=8)
+
+
+def test_fig8_pareto(benchmark, save_artifact):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    text = result.render() + (
+        f"\n\nmax adaptive distance to front: "
+        f"{100 * result.max_adaptive_distance():.1f}%"
+    )
+    save_artifact("fig8_pareto", text)
+
+    # Ten points: 5 configurations x {NAS, NAMD}.
+    assert len(result.points) == 10
+    assert result.front
+    assert len(result.adaptive_points()) == 4
+
+    # The headline claim: every adaptive configuration is on or very near
+    # the Pareto curve.  Evaluated within each benchmark family (the joint
+    # plot lets a NAMD point dominate a NAS point, which compares different
+    # applications): within its family, every adaptive point is on the
+    # front or within 5 error points / 5% speedup of it.
+    for family in ("NAS", "NAMD"):
+        family_points = [p for p in result.points if p.label.startswith(family + " ")]
+        family_front = pareto_front(family_points)
+        for point in family_points:
+            if "dyn" in point.label:
+                assert distance_to_front(point, family_front) < 0.05, point
+
+    # The front spans the trade-off: its most accurate point is adaptive
+    # or the 10us quantum; its fastest point is a 1000us quantum.
+    fastest = max(result.front, key=lambda p: p.speedup)
+    assert fastest.label.endswith("1k")
+    most_accurate = min(result.front, key=lambda p: p.error)
+    assert "dyn" in most_accurate.label or most_accurate.label.endswith("10")

@@ -1,0 +1,47 @@
+"""Section 6, table 1: NAS-EP at 64 nodes.
+
+Paper: Q=100us -> 72.7x / 0.10% error; Q=10us -> 7.9x / 0.01%;
+dyn(1:100) -> 12.9x / 0.58%.  EP is the adaptive algorithm's best case:
+"because of its limited amount of communication, our adaptive technique is
+able to reduce the synchronization overhead and preserve an excellent
+precision."
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.configs import scaleout_configs
+from repro.harness.experiment import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def run_table():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    config = next(c for c in scaleout_configs() if c.name == "EP")
+    return figures.section6(runner, config)
+
+
+def test_sec6_ep_table(benchmark, save_artifact):
+    result = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    save_artifact(
+        "sec6_ep", result.render() + f"\npaper reported: {result.paper_rows}"
+    )
+
+    q100 = result.row("100us")
+    q10 = result.row("10us")
+    dyn = result.row("dyn 1:100")
+
+    # Speed ordering: 100us >> dyn > 10us (paper: 72.7 / 12.9 / 7.9; our
+    # adaptive exceeds the paper's because EP's silence lets it sit near
+    # its ceiling — see EXPERIMENTS.md).
+    assert q100.speedup > dyn.speedup > q10.speedup
+    assert q100.speedup > 50
+
+    # Accuracy: everything is precise on EP; dyn is the most accurate.
+    assert dyn.accuracy_error < q100.accuracy_error
+    assert dyn.accuracy_error < 0.01
+    assert q100.accuracy_error < 0.05
+
+    # The adaptive quantum spent the run well above the 10us fixed setting.
+    assert dyn.mean_quantum > 20_000

@@ -1,0 +1,52 @@
+"""Section 6, table 2: NAS-IS at 64 nodes.
+
+Paper: Q=100us -> 84x accel but the simulated execution time diverges 150x;
+Q=10us -> 9.8x / 22x; dyn(1:100) -> 27x / 1.57x.  IS is the accuracy worst
+case: MPI_Alltoall's "long chains of packet dependences ... when dilated by
+a longer synchronization quantum, create a dramatic loss of accuracy".
+
+Our transport is lossless and in-order, so the feedback loop that blows the
+paper's dilation to 150x (guest TCP under distorted timing) does not fire;
+the *ordering* — big fixed quanta diverge wildly, the adaptive schedule
+regains accuracy — is what this benchmark asserts (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.configs import scaleout_configs
+from repro.harness.experiment import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def run_table():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    config = next(c for c in scaleout_configs() if c.name == "IS")
+    return figures.section6(runner, config)
+
+
+def test_sec6_is_table(benchmark, save_artifact):
+    result = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    save_artifact(
+        "sec6_is", result.render() + f"\npaper reported: {result.paper_rows}"
+    )
+
+    q100 = result.row("100us")
+    q10 = result.row("10us")
+    dyn = result.row("dyn 1:100")
+
+    # Execution-time divergence ordering: 100us >> 10us and dyn ~ 1x.
+    assert q100.exec_time_ratio > 1.2
+    assert q100.exec_time_ratio > q10.exec_time_ratio
+    assert dyn.exec_time_ratio < 1.1
+
+    # Speed ordering holds: 100us fastest; dyn at least as fast as 10us
+    # with (far) better accuracy than 100us (paper: 27x vs 9.8x).
+    assert q100.speedup > dyn.speedup
+    assert dyn.speedup >= q10.speedup * 0.9
+    assert dyn.accuracy_error < q100.accuracy_error / 5
+
+    # "With a very conservative adaptation schedule we regain some level of
+    # accuracy": the adaptive error is small in absolute terms.
+    assert dyn.accuracy_error < 0.05

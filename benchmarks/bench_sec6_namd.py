@@ -1,0 +1,48 @@
+"""Section 6, table 3: NAMD at 64 nodes.
+
+Paper: Q=100us -> 77.2x / 104% error; Q=10us -> 9.1x / 1.01%;
+dyn(2:100) -> 6.5x / 0.79%.  NAMD is the speed worst case: "the continuous
+presence of packets flowing through the simulated switch caps the speedup
+gain below 10x.  On the other hand ... the adaptive quantum algorithm
+automatically adjusts to approximate the best quantum (around 10us)" — the
+sweet spot is found without sweeping fixed quanta by hand.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figures
+from repro.harness.configs import scaleout_configs
+from repro.harness.experiment import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def run_table():
+    runner = ExperimentRunner(seed=BENCH_SEED)
+    config = next(c for c in scaleout_configs() if c.name == "NAMD")
+    return figures.section6(runner, config)
+
+
+def test_sec6_namd_table(benchmark, save_artifact):
+    result = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    save_artifact(
+        "sec6_namd", result.render() + f"\npaper reported: {result.paper_rows}"
+    )
+
+    q100 = result.row("100us")
+    q10 = result.row("10us")
+    dyn = result.row("dyn 2:100")
+
+    # The big fixed quantum is fast and badly wrong (paper: 104% error —
+    # NAMD reports wall-clock, so the error can exceed 100%).
+    assert q100.speedup > 30
+    assert q100.accuracy_error > 0.10
+
+    # Dense traffic caps the adaptive speedup below 10x (paper: 6.5x).
+    assert dyn.speedup < 12
+
+    # The adaptive quantum self-tunes near the best fixed quantum (~10us)
+    # and delivers the best accuracy of the three.
+    assert 2_000 < dyn.mean_quantum < 25_000
+    assert dyn.accuracy_error < 0.01
+    assert dyn.accuracy_error <= q10.accuracy_error

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Simulate an 8-node HPC cluster running the NAS kernels.
+
+The scenario from the paper's evaluation: five NAS Parallel Benchmark
+models (EP, IS, CG, MG, LU) on an 8-node cluster with 10 Gbit/s NICs,
+compared across the paper's whole configuration matrix.  Shows the
+per-kernel behaviour that the aggregated Figure 6 numbers hide: EP loves
+big quanta, IS/LU punish them, and the adaptive algorithm gets close to
+the best of both per kernel — with no per-kernel tuning.
+
+Run:  python examples/hpc_cluster.py [--size 8] [--seed 42]
+"""
+
+import argparse
+
+from repro import ExperimentRunner, nas_suite, paper_policies
+from repro.harness.report import format_table, percent, times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=8, help="cluster size")
+    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(seed=args.seed)
+    specs = paper_policies()
+
+    for workload in nas_suite():
+        truth = runner.ground_truth(workload, args.size)
+        rows = []
+        for spec in specs:
+            comparison = runner.run_and_compare(workload, args.size, spec)
+            rows.append(
+                [
+                    spec.label,
+                    f"{comparison.metric:.0f}",
+                    percent(comparison.accuracy_error),
+                    times(comparison.speedup),
+                    f"{comparison.mean_quantum / 1000:.1f}us",
+                    percent(comparison.straggler_fraction, 1),
+                ]
+            )
+        title = (
+            f"NAS {workload.name} on {args.size} nodes "
+            f"(ground truth: {truth.metric:.0f} {workload.metric_name}, "
+            f"{truth.result.host_time:.0f}s modelled host time)"
+        )
+        print(
+            format_table(
+                ["config", workload.metric_name, "error", "speedup", "mean Q", "stragglers"],
+                rows,
+                title,
+            )
+        )
+        print()
+
+    print(
+        "Reading guide: 'error' compares each configuration's application-"
+        "\nreported metric to the 1us ground truth; 'speedup' is modelled host"
+        "\ntime versus that same ground truth.  The adaptive rows track each"
+        "\nkernel's own sweet spot: near-max quanta for EP, a few microseconds"
+        "\nfor the all-to-all chains of IS."
+    )
+
+
+if __name__ == "__main__":
+    main()

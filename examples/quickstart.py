@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: two simulated nodes, four synchronization settings.
+
+Builds the smallest possible cluster simulation — a ping-pong between two
+nodes over the paper's 10 Gbit/s network — and runs it under the
+deterministic ground truth (1 us quantum), two coarse fixed quanta, and
+the paper's adaptive algorithm.  Prints the accuracy/speed trade-off each
+one lands on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AdaptiveQuantumPolicy,
+    ClusterConfig,
+    ClusterSimulator,
+    FixedQuantumPolicy,
+    NetworkController,
+    PAPER_NETWORK,
+    PingPongWorkload,
+    SimulatedNode,
+)
+from repro.engine.units import MICROSECOND
+
+US = MICROSECOND
+
+
+def run_once(policy, seed=2026):
+    """One fresh two-node cluster under *policy*."""
+    workload = PingPongWorkload(rounds=50, message_bytes=256)
+    nodes = [
+        SimulatedNode(rank, app) for rank, app in enumerate(workload.build_apps(2))
+    ]
+    controller = NetworkController(2, PAPER_NETWORK(2))
+    simulator = ClusterSimulator(nodes, controller, policy, ClusterConfig(seed=seed))
+    result = simulator.run()
+    return workload, result
+
+
+def main():
+    configurations = [
+        ("ground truth (Q=1us)", FixedQuantumPolicy(US)),
+        ("fixed Q=100us", FixedQuantumPolicy(100 * US)),
+        ("fixed Q=1000us", FixedQuantumPolicy(1000 * US)),
+        ("adaptive 1us..1000us", AdaptiveQuantumPolicy(US, 1000 * US)),
+    ]
+
+    print("ping-pong round-trip as each synchronization setting sees it\n")
+    baseline = None
+    header = f"{'configuration':<22} {'mean RTT':>10} {'stragglers':>10} {'host time':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, policy in configurations:
+        workload, result = run_once(policy)
+        if baseline is None:
+            baseline = result
+        rtt_us = workload.metric(result)
+        stats = result.controller_stats
+        print(
+            f"{label:<22} {rtt_us:>8.2f}us "
+            f"{stats.stragglers:>10} "
+            f"{result.host_time:>9.2f}s "
+            f"{result.speedup_vs(baseline):>7.1f}x"
+        )
+
+    print(
+        "\nThe 1us quantum never breaks timing causality (zero stragglers) but"
+        "\npays a barrier every microsecond.  Large fixed quanta are fast and"
+        "\nwrong; the adaptive quantum crashes to 1us whenever the ping-pong"
+        "\ntraffic appears and grows through the think time in between."
+    )
+
+
+if __name__ == "__main__":
+    main()

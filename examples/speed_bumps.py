@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Watch the adaptive quantum 'drive over speed bumps'.
+
+The paper describes Algorithm 1 with a driving metaphor: simulators are
+cars that accelerate gently on empty road (packet-free quanta grow the
+quantum by inc) and brake hard at speed bumps (any traffic multiplies it
+by dec).  This example runs a synthetic workload with clearly separated
+compute and communication phases and prints the quantum's trajectory, the
+straggler counts, and what different inc/dec choices do to the trade-off.
+
+Run:  python examples/speed_bumps.py
+"""
+
+from repro import (
+    AdaptiveQuantumPolicy,
+    AimdQuantumPolicy,
+    ClusterConfig,
+    ClusterSimulator,
+    FixedQuantumPolicy,
+    NetworkController,
+    PAPER_NETWORK,
+    PhaseWorkload,
+    SimulatedNode,
+)
+from repro.engine.units import MICROSECOND
+from repro.harness.report import format_table, percent, times
+
+US = MICROSECOND
+
+
+class QuantumRecorder:
+    """Wraps a policy to log every quantum decision."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.history = []
+        # Delegate the QuantumPolicy surface, recording next().
+        self.min_quantum = policy.min_quantum
+        self.max_quantum = policy.max_quantum
+
+    def initial(self):
+        value = self.policy.initial()
+        self.history.append((value, None))
+        return value
+
+    def next(self, quantum, np_count):
+        value = self.policy.next(quantum, np_count)
+        self.history.append((value, np_count))
+        return value
+
+    def window(self, quantum):
+        return self.policy.window(quantum)
+
+    def idle_chunk(self, quantum, span, max_windows):
+        lengths, state = self.policy.idle_chunk(quantum, span, max_windows)
+        if len(lengths):
+            self.history.append((float(lengths[-1]), 0))
+        return lengths, state
+
+    def describe(self):
+        return f"recorded {self.policy.describe()}"
+
+
+def run(policy, seed=7):
+    workload = PhaseWorkload(
+        phases=5, compute_ops=4e7, pattern="alltoall", message_bytes=8192
+    )
+    nodes = [SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(4))]
+    controller = NetworkController(4, PAPER_NETWORK(4))
+    sim = ClusterSimulator(nodes, controller, policy, ClusterConfig(seed=seed))
+    return workload, sim.run()
+
+
+def sparkline(values, width=64):
+    """Render a quantum trajectory as a one-line log-scale sparkline."""
+    import math
+
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    glyphs = " .:-=+*#%@"
+    low = math.log(min(values))
+    high = math.log(max(values))
+    span = max(high - low, 1e-9)
+    return "".join(
+        glyphs[min(int((math.log(v) - low) / span * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for v in values
+    )
+
+
+def main():
+    print("Phase workload: 5 x (compute ~15ms, then one 8KB all-to-all)\n")
+
+    recorder = QuantumRecorder(AdaptiveQuantumPolicy(US, 1000 * US, 1.03, 0.02))
+    _, adaptive_run = run(recorder)
+    quanta = [q for q, _ in recorder.history]
+    print("adaptive quantum trajectory (log scale, left to right in time):")
+    print(f"  [{sparkline(quanta)}]")
+    print(f"  min={min(quanta)/1000:.1f}us max={max(quanta)/1000:.1f}us "
+          f"decisions={len(quanta)}\n")
+
+    workload, truth = run(FixedQuantumPolicy(US))
+    rows = []
+    for label, policy in [
+        ("fixed 1us (truth)", FixedQuantumPolicy(US)),
+        ("fixed 1000us", FixedQuantumPolicy(1000 * US)),
+        ("adaptive 1.03:0.02", AdaptiveQuantumPolicy(US, 1000 * US, 1.03, 0.02)),
+        ("adaptive 1.05:0.02", AdaptiveQuantumPolicy(US, 1000 * US, 1.05, 0.02)),
+        ("adaptive 1.30:0.50", AdaptiveQuantumPolicy(US, 1000 * US, 1.30, 0.50)),
+        ("aimd +1us:0.02", AimdQuantumPolicy(US, 1000 * US, step=1000, dec=0.02)),
+    ]:
+        wl, result = run(policy)
+        rows.append(
+            [
+                label,
+                percent(wl.accuracy_error(result, truth)),
+                times(result.speedup_vs(truth)),
+                f"{result.quantum_stats.mean_quantum / 1000:.1f}us",
+                result.controller_stats.stragglers,
+            ]
+        )
+    print(format_table(["policy", "error", "speedup", "mean Q", "stragglers"], rows))
+    print(
+        "\nThe paper's guidance reproduces: grow gently (2-5%), brake hard"
+        "\n(dec ~ 1/sqrt(maxQ)).  Fast growth with weak braking (1.30:0.50)"
+        "\nkeeps the quantum high through communication phases and pays for"
+        "\nit in error.  Additive growth (AIMD) is competitive on phases this"
+        "\nshort — multiplicative growth pulls ahead on long silent stretches"
+        "\n(EP-like), where it reaches the quantum ceiling in ~35ms of"
+        "\nsimulated time while +1us/quantum needs ~500ms (see the ablation"
+        "\nbenchmark for the comparison across workloads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Guest-transport feedback: why the paper's IS diverged 150x.
+
+Runs a bulk stream between two nodes three ways — eager transport, and
+TCP-like windowed transports of 64 KiB and 16 KiB — under the ground truth,
+a big fixed quantum, and the adaptive quantum.  Windowed bulk throughput is
+window/RTT, so a quantum that inflates the observed RTT collapses
+throughput by the same factor; the adaptive algorithm neutralises the
+feedback entirely because it never lets the RTT inflate while traffic is
+flowing.
+
+Run:  python examples/transport_feedback.py
+"""
+
+from repro import ExperimentRunner, StreamWorkload
+from repro.core import AdaptiveQuantumPolicy, FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness.configs import PolicySpec
+from repro.harness.report import format_table, percent, times
+from repro.node import TransportConfig
+
+US = MICROSECOND
+
+
+def main():
+    policies = [
+        PolicySpec("Q=100us", lambda: FixedQuantumPolicy(100 * US)),
+        PolicySpec("Q=1000us", lambda: FixedQuantumPolicy(1000 * US)),
+        PolicySpec("adaptive", lambda: AdaptiveQuantumPolicy(US, 1000 * US)),
+    ]
+    rows = []
+    for label, transport in [
+        ("eager (no window)", None),
+        ("windowed 64 KiB", TransportConfig(window_bytes=64 * 1024)),
+        ("windowed 16 KiB", TransportConfig(window_bytes=16 * 1024)),
+    ]:
+        runner = ExperimentRunner(seed=2026, transport=transport)
+        workload = StreamWorkload(total_bytes=2_000_000)
+        truth = runner.ground_truth(workload, 2)
+        for spec in policies:
+            row = runner.run_and_compare(workload, 2, spec)
+            rows.append(
+                [
+                    label,
+                    spec.label,
+                    f"{truth.metric:.0f} MB/s",
+                    f"{row.metric:.0f} MB/s",
+                    percent(row.accuracy_error),
+                    times(row.exec_time_ratio, 2),
+                ]
+            )
+
+    print(
+        format_table(
+            ["transport", "quantum", "true rate", "observed rate", "error", "dilation"],
+            rows,
+            "Bulk stream, 2 nodes: transport feedback under quantum sync",
+        )
+    )
+    print(
+        "\nThe tighter the window, the harder a large quantum punishes the"
+        "\ntransfer (window/RTT feedback) — and the more the adaptive quantum"
+        "\nis worth: its rows stay at the true rate under every transport."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Barrier cost model: the host-time price of each synchronization quantum.
+
+Every quantum ends with a global barrier: each node simulator signals the
+network controller that it reached the quantum boundary, waits, and resumes
+on release (the "synchronization overhead" bubbles of the paper's Figure 5).
+On the paper's testbed this is inter-process communication across host
+processes (sockets/pipes + scheduler wakeups), costing on the order of a
+millisecond per quantum — which is precisely why a 1 us quantum makes
+cluster simulation ~two orders of magnitude slower than free-running node
+simulation, and why growing the quantum buys the ~65x ceiling observed for
+Q = 1000 us.
+
+We model the barrier as ``base + per_node * N`` host seconds: a constant
+controller turnaround plus a per-participant messaging cost (the controller
+is centralized, so cost grows linearly in fan-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BarrierModel:
+    """Host seconds consumed by one quantum barrier across *n* nodes."""
+
+    base: float = 1.2e-3
+    per_node: float = 0.1e-3
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.per_node < 0:
+            raise ValueError("barrier costs must be non-negative")
+
+    def overhead(self, num_nodes: int) -> float:
+        """Host seconds for one barrier over *num_nodes* participants."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        return self.base + self.per_node * num_nodes
+
+    @classmethod
+    def free(cls) -> "BarrierModel":
+        """A zero-cost barrier (isolates accuracy effects in tests)."""
+        return cls(base=0.0, per_node=0.0)

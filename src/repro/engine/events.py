@@ -1,0 +1,159 @@
+"""Event objects and the cancellable event queue.
+
+The queue is a binary heap with *lazy deletion*: cancelling an event marks it
+dead and the mark is honoured when the entry surfaces.  This is the standard
+technique for discrete-event kernels where events are frequently rescheduled
+(here: packet deliveries that a straggler decision moves, and application
+wake-ups that an early message delivery supersedes).
+
+Ordering is total and deterministic: events at equal times are returned in
+insertion order via a monotone sequence number, so two runs with the same
+seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.engine.units import SimTime
+
+
+class Event:
+    """A scheduled occurrence.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        action: zero-argument callable run when the event fires.  May be
+            ``None`` for marker events whose firing is interpreted by the
+            owner of the queue.
+        tag: free-form label used by owners to classify events (e.g.
+            ``"delivery"``, ``"compute-done"``); purely informational.
+        payload: arbitrary data travelling with the event.
+    """
+
+    __slots__ = ("time", "action", "tag", "payload", "_seq", "_alive")
+
+    def __init__(
+        self,
+        time: SimTime,
+        action: Optional[Callable[[], None]] = None,
+        tag: str = "",
+        payload: Any = None,
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = time
+        self.action = action
+        self.tag = tag
+        self.payload = payload
+        self._seq = -1
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event is still scheduled (not cancelled, not fired)."""
+        return self._alive
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue will skip it when it surfaces."""
+        self._alive = False
+
+    def fire(self) -> None:
+        """Run the event's action, if any, and mark it consumed."""
+        self._alive = False
+        if self.action is not None:
+            self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "dead"
+        return f"Event(t={self.time}, tag={self.tag!r}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Events pop in ``(time, insertion order)`` order.  Cancelled events are
+    skipped transparently.  ``len()`` reports live events only.
+    """
+
+    __slots__ = ("_heap", "_next_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[SimTime, int, Event]] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Schedule *event*; returns it for chaining."""
+        if not event._alive:
+            raise ValueError("cannot schedule a cancelled event")
+        if event._seq >= 0:
+            raise ValueError("event is already scheduled")
+        event._seq = self._next_seq
+        self._next_seq += 1
+        heapq.heappush(self._heap, (event.time, event._seq, event))
+        self._live += 1
+        return event
+
+    def schedule(
+        self,
+        time: SimTime,
+        action: Optional[Callable[[], None]] = None,
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Create and push an event in one step."""
+        return self.push(Event(time, action, tag, payload))
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* if it is still live (idempotent)."""
+        if event._alive:
+            event.cancel()
+            self._live -= 1
+
+    def _drop_dead(self) -> None:
+        while self._heap and not self._heap[0][2]._alive:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """Return the next live event without removing it, or ``None``."""
+        self._drop_dead()
+        return self._heap[0][2] if self._heap else None
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        event = self.peek()
+        return event.time if event is not None else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        _, _, event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def pop_until(self, limit: SimTime) -> Iterator[Event]:
+        """Yield live events with ``time < limit`` in order, removing them."""
+        while True:
+            event = self.peek()
+            if event is None or event.time >= limit:
+                return
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Drop all events (used when tearing a simulation down)."""
+        self._heap.clear()
+        self._live = 0

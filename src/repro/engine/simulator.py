@@ -1,0 +1,95 @@
+"""A generic single-timeline discrete-event simulator.
+
+This is the classic sequential DES loop: pop the earliest event, advance the
+clock, fire the action, repeat.  The quantum-synchronized cluster driver in
+:mod:`repro.core.cluster` deliberately does *not* use this loop (it interleaves
+per-node timelines in host time); this one serves
+
+* the sequential ground-truth checks in the test-suite,
+* the non-quantum baselines (null-message conservative simulation in
+  :mod:`repro.core.baselines` runs each LP on one of these), and
+* small didactic examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.units import SimTime
+
+
+class Simulator:
+    """Sequential event loop over a single simulated timeline."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: SimTime = 0
+        self.events_fired = 0
+        self._running = False
+
+    def schedule_at(
+        self,
+        time: SimTime,
+        action: Optional[Callable[[], None]] = None,
+        tag: str = "",
+        payload: object = None,
+    ) -> Event:
+        """Schedule an event at absolute simulated time *time*."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: now={self.now}, requested={time}"
+            )
+        return self.queue.schedule(time, action, tag, payload)
+
+    def schedule_after(
+        self,
+        delay: SimTime,
+        action: Optional[Callable[[], None]] = None,
+        tag: str = "",
+        payload: object = None,
+    ) -> Event:
+        """Schedule an event *delay* after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.schedule(self.now + delay, action, tag, payload)
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event, if any, and return it."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        self.now = event.time
+        event.fire()
+        self.events_fired += 1
+        return event
+
+    def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> SimTime:
+        """Run until the queue drains, *until* is reached, or *max_events* fire.
+
+        Returns the simulated time at which the loop stopped.  When stopping
+        on *until*, the clock is advanced to exactly *until* and events at or
+        beyond it stay queued.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._running and self.queue:
+                next_time = self.queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    self.now = until
+                    return self.now
+                if max_events is not None and fired >= max_events:
+                    return self.now
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event."""
+        self._running = False

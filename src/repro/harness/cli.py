@@ -1,0 +1,197 @@
+"""Command-line entry point: ``repro-cluster <artefact>``.
+
+Regenerates any of the paper's figures or tables from the terminal::
+
+    repro-cluster fig6              # NAS accuracy + speedup matrix
+    repro-cluster fig7              # NAMD accuracy + speedup matrix
+    repro-cluster fig8              # Pareto optimality at 8 nodes
+    repro-cluster sec6 --case IS    # one 64-node case study
+    repro-cluster fig9 --case NAMD  # traffic + speedup-over-time
+    repro-cluster sweep --workload IS
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine.units import MILLISECOND
+from repro.harness import figures
+from repro.harness.configs import scaleout_configs
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.sweep import sweep_inc_dec
+from repro.workloads import (
+    CgWorkload,
+    EpWorkload,
+    IsWorkload,
+    LuWorkload,
+    MgWorkload,
+    NamdWorkload,
+)
+
+_WORKLOADS = {
+    "EP": EpWorkload,
+    "IS": IsWorkload,
+    "CG": CgWorkload,
+    "MG": MgWorkload,
+    "LU": LuWorkload,
+    "NAMD": NamdWorkload,
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="Regenerate the figures and tables of the adaptive-"
+        "synchronization paper on the simulated cluster.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig6 = sub.add_parser("fig6", help="NAS accuracy and speedup matrix")
+    fig6.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 8])
+
+    fig7 = sub.add_parser("fig7", help="NAMD accuracy and speedup matrix")
+    fig7.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 8])
+
+    sub.add_parser("fig8", help="Pareto optimality at 8 nodes")
+
+    sec6 = sub.add_parser("sec6", help="64-node scale-out case studies")
+    sec6.add_argument("--case", choices=["EP", "IS", "NAMD", "all"], default="all")
+
+    fig9 = sub.add_parser("fig9", help="traffic + speedup-over-time, 64 nodes")
+    fig9.add_argument("--case", choices=["EP", "IS", "NAMD"], default="EP")
+
+    sweep = sub.add_parser("sweep", help="inc/dec ablation sweep")
+    sweep.add_argument("--workload", choices=sorted(_WORKLOADS), default="IS")
+    sweep.add_argument("--size", type=int, default=8)
+
+    transport = sub.add_parser(
+        "transport", help="windowed-transport (TCP-like) feedback ablation"
+    )
+    transport.add_argument("--window-kib", type=int, default=16)
+
+    sampling = sub.add_parser(
+        "sampling", help="adaptive quantum x node sampling (paper §7)"
+    )
+    sampling.add_argument("--detail-fraction", type=float, default=0.2)
+    return parser
+
+
+def _scaleout(case: str):
+    for config in scaleout_configs():
+        if config.name == case:
+            return config
+    raise SystemExit(f"unknown case {case!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    started = time.time()
+    runner = ExperimentRunner(seed=args.seed)
+
+    if args.command == "fig6":
+        result = figures.run_nas_suite_matrix(runner, tuple(args.sizes))
+        print(result.render("Figure 6 — NAS (harmonic mean over EP/IS/CG/MG/LU)"))
+    elif args.command == "fig7":
+        result = figures.figure7(runner, tuple(args.sizes))
+        print(result.render("Figure 7 — NAMD"))
+    elif args.command == "fig8":
+        result = figures.figure8(runner)
+        print(result.render())
+        print(
+            f"\nmax adaptive distance to front: "
+            f"{100 * result.max_adaptive_distance():.1f}%"
+        )
+    elif args.command == "sec6":
+        cases = ["EP", "IS", "NAMD"] if args.case == "all" else [args.case]
+        for case in cases:
+            result = figures.section6(runner, _scaleout(case))
+            print(result.render())
+            print(f"paper reported: {result.paper_rows}\n")
+    elif args.command == "fig9":
+        config = _scaleout(args.case)
+        result = figures.figure9(
+            lambda record_traffic, timeline_bucket: ExperimentRunner(
+                seed=args.seed,
+                record_traffic=record_traffic,
+                timeline_bucket=timeline_bucket,
+            ),
+            config,
+            bucket=MILLISECOND,
+        )
+        print(result.render())
+    elif args.command == "sweep":
+        workload = _WORKLOADS[args.workload]()
+        result = sweep_inc_dec(runner, workload, args.size)
+        print(result.render())
+        best = result.best_by_error()
+        print(f"\nbest accuracy: inc={best.inc:.2f} dec={best.dec:.2f}")
+    elif args.command == "transport":
+        from repro.core.quantum import AdaptiveQuantumPolicy, FixedQuantumPolicy
+        from repro.engine.units import MICROSECOND
+        from repro.harness.configs import PolicySpec
+        from repro.harness.report import format_table, percent, times
+        from repro.node.transport import TransportConfig
+        from repro.workloads import StreamWorkload
+
+        rows = []
+        for label, config in [
+            ("eager", None),
+            (f"window {args.window_kib}KiB",
+             TransportConfig(window_bytes=args.window_kib * 1024)),
+        ]:
+            transport_runner = ExperimentRunner(seed=args.seed, transport=config)
+            workload = StreamWorkload()
+            transport_runner.ground_truth(workload, 2)
+            for spec in [
+                PolicySpec("1000us", lambda: FixedQuantumPolicy(1000 * MICROSECOND)),
+                PolicySpec("dyn", lambda: AdaptiveQuantumPolicy(
+                    MICROSECOND, 1000 * MICROSECOND)),
+            ]:
+                row = transport_runner.run_and_compare(workload, 2, spec)
+                rows.append([label, spec.label, percent(row.accuracy_error),
+                             times(row.exec_time_ratio, 2)])
+        print(format_table(["transport", "quantum", "error", "dilation"], rows,
+                           "Transport feedback (bulk stream, 2 nodes)"))
+    elif args.command == "sampling":
+        from repro.core import ClusterConfig, ClusterSimulator
+        from repro.core.quantum import AdaptiveQuantumPolicy, FixedQuantumPolicy
+        from repro.engine.units import MICROSECOND, MILLISECOND
+        from repro.harness.report import format_table, times
+        from repro.network import NetworkController, PAPER_NETWORK
+        from repro.node import SimulatedNode
+        from repro.node.sampling import SamplingSchedule
+        from repro.workloads import EpWorkload
+
+        schedule = SamplingSchedule(
+            period=5 * MILLISECOND, detail_fraction=args.detail_fraction
+        )
+        results = {}
+        for sync_label, policy_factory in [
+            ("fixed 1us", lambda: FixedQuantumPolicy(MICROSECOND)),
+            ("adaptive", lambda: AdaptiveQuantumPolicy(
+                MICROSECOND, 1000 * MICROSECOND)),
+        ]:
+            for sample_label, sampling_schedule in [("detailed", None),
+                                                    ("sampled", schedule)]:
+                workload = EpWorkload()
+                nodes = [SimulatedNode(i, app)
+                         for i, app in enumerate(workload.build_apps(8))]
+                controller = NetworkController(8, PAPER_NETWORK(8))
+                config = ClusterConfig(seed=args.seed, sampling=sampling_schedule)
+                results[(sync_label, sample_label)] = ClusterSimulator(
+                    nodes, controller, policy_factory(), config).run()
+        baseline = results[("fixed 1us", "detailed")]
+        rows = [[f"{a} + {b}", f"{r.host_time:.1f}s", times(r.speedup_vs(baseline))]
+                for (a, b), r in results.items()]
+        print(format_table(["configuration", "host time", "speedup"], rows,
+                           "Adaptive quantum x sampling (8-node EP)"))
+
+    print(f"\n[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

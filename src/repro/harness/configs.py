@@ -1,0 +1,152 @@
+"""The paper's experiment configurations.
+
+Section 5 runs every benchmark at 2, 4 and 8 nodes under fixed quanta of
+1 us (ground truth), 10 us, 100 us and 1000 us, plus the two adaptive
+settings "dyn 1k 1.03:0.02" and "dyn 1k 1.05:0.02" (min 1 us, max 1000 us,
+3 %/5 % acceleration, 0.02 deceleration).  Section 6 scales three
+benchmarks to 64 nodes with per-benchmark adaptive ranges ("1:100" means
+min 1 us / max 100 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.quantum import AdaptiveQuantumPolicy, FixedQuantumPolicy, QuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.workloads import (
+    CgWorkload,
+    EpWorkload,
+    IsWorkload,
+    LuWorkload,
+    MgWorkload,
+    NamdWorkload,
+    Workload,
+)
+
+US = MICROSECOND
+
+#: Cluster sizes of the paper's Section 5 experiments.
+PAPER_SIZES = (2, 4, 8)
+
+#: Ground-truth quantum: 1 us, at or below the minimum network latency.
+GROUND_TRUTH_QUANTUM = US
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named quantum configuration.
+
+    The factory builds a *fresh* policy per run (policies are stateless,
+    but fresh objects keep runs fully independent).
+    """
+
+    label: str
+    factory: Callable[[], QuantumPolicy]
+
+    def build(self) -> QuantumPolicy:
+        return self.factory()
+
+
+def ground_truth_policy() -> PolicySpec:
+    return PolicySpec("1", lambda: FixedQuantumPolicy(GROUND_TRUTH_QUANTUM))
+
+
+def paper_policies(include_ground_truth: bool = False) -> list[PolicySpec]:
+    """The Figure 6/7 configuration set, in the paper's legend order."""
+    specs = []
+    if include_ground_truth:
+        specs.append(ground_truth_policy())
+    specs.extend(
+        [
+            PolicySpec("10", lambda: FixedQuantumPolicy(10 * US)),
+            PolicySpec("100", lambda: FixedQuantumPolicy(100 * US)),
+            PolicySpec("1k", lambda: FixedQuantumPolicy(1000 * US)),
+            PolicySpec(
+                "dyn 1k 1.03:0.02",
+                lambda: AdaptiveQuantumPolicy(US, 1000 * US, inc=1.03, dec=0.02),
+            ),
+            PolicySpec(
+                "dyn 1k 1.05:0.02",
+                lambda: AdaptiveQuantumPolicy(US, 1000 * US, inc=1.05, dec=0.02),
+            ),
+        ]
+    )
+    return specs
+
+
+def nas_suite() -> list[Workload]:
+    """Fresh instances of the five NAS kernels used in the paper."""
+    return [EpWorkload(), IsWorkload(), CgWorkload(), MgWorkload(), LuWorkload()]
+
+
+def namd_workload() -> NamdWorkload:
+    return NamdWorkload()
+
+
+@dataclass(frozen=True)
+class ScaleoutConfig:
+    """One Section 6 case study: a 64-node benchmark and its policies."""
+
+    name: str
+    workload_factory: Callable[[], Workload]
+    size: int
+    fixed_quanta: tuple[int, ...]
+    dyn_label: str
+    dyn_factory: Callable[[], QuantumPolicy]
+    #: Paper-reported (speedup, accuracy metric) rows for EXPERIMENTS.md.
+    paper_rows: dict = field(default_factory=dict)
+
+
+def scaleout_configs() -> list[ScaleoutConfig]:
+    """The three 64-node case studies of Section 6.
+
+    The workload instances are scaled so each rank keeps a class-A-like
+    compute/communication ratio at 64 nodes (the defaults target 2-8
+    nodes); Section 6's adaptive ranges are narrower than Section 5's
+    ("1:100" / "2:100").
+    """
+    return [
+        ScaleoutConfig(
+            name="EP",
+            workload_factory=lambda: EpWorkload(total_ops=6.4e9),
+            size=64,
+            fixed_quanta=(100 * US, 10 * US),
+            dyn_label="dyn 1:100",
+            dyn_factory=lambda: AdaptiveQuantumPolicy(US, 100 * US, inc=1.03, dec=0.02),
+            paper_rows={
+                "100us": (72.7, "0.10%"),
+                "10us": (7.9, "0.01%"),
+                "dyn": (12.9, "0.58%"),
+            },
+        ),
+        ScaleoutConfig(
+            name="IS",
+            workload_factory=lambda: IsWorkload(total_keys=2**24),
+            size=64,
+            fixed_quanta=(100 * US, 10 * US),
+            dyn_label="dyn 1:100",
+            dyn_factory=lambda: AdaptiveQuantumPolicy(US, 100 * US, inc=1.03, dec=0.02),
+            paper_rows={
+                "100us": (84.0, "150x"),
+                "10us": (9.8, "22x"),
+                "dyn": (27.0, "1.57x"),
+            },
+        ),
+        ScaleoutConfig(
+            name="NAMD",
+            workload_factory=lambda: NamdWorkload(),
+            size=64,
+            fixed_quanta=(100 * US, 10 * US),
+            dyn_label="dyn 2:100",
+            dyn_factory=lambda: AdaptiveQuantumPolicy(
+                2 * US, 100 * US, inc=1.03, dec=0.02
+            ),
+            paper_rows={
+                "100us": (77.2, "104%"),
+                "10us": (9.1, "1.01%"),
+                "dyn": (6.5, "0.79%"),
+            },
+        ),
+    ]

@@ -1,0 +1,189 @@
+"""Experiment runner: build a cluster, run it, compare against ground truth.
+
+The runner owns the methodology details of Section 4: every configuration
+of a given (workload, size, seed) shares the same workload instance
+parameters; the 1 us fixed quantum is the ground truth; accuracy is the
+relative error of the application-reported metric; speed is the host-time
+speedup against the ground-truth run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.barrier import BarrierModel
+from repro.core.cluster import ClusterConfig, ClusterSimulator, RunResult
+from repro.core.quantum import QuantumPolicy
+from repro.engine.units import SimTime
+from repro.harness.configs import PolicySpec, ground_truth_policy
+from repro.metrics.traffic import TrafficTrace
+from repro.network.controller import NetworkController
+from repro.network.latency import PAPER_NETWORK, LatencyModel
+from repro.node.hostmodel import HostModelParams
+from repro.node.node import SimulatedNode
+from repro.node.transport import TransportConfig
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ExperimentRecord:
+    """One finished run and its application metric."""
+
+    workload_name: str
+    size: int
+    policy_label: str
+    seed: int
+    metric: float
+    result: RunResult
+    trace: Optional[TrafficTrace] = None
+
+
+@dataclass
+class ComparisonRow:
+    """One configuration compared against the ground truth."""
+
+    workload_name: str
+    size: int
+    policy_label: str
+    metric: float
+    accuracy_error: float
+    speedup: float
+    exec_time_ratio: float
+    straggler_fraction: float
+    mean_quantum: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload_name:>5} n={self.size:<3} {self.policy_label:<18} "
+            f"speedup={self.speedup:7.1f}x error={100 * self.accuracy_error:7.2f}% "
+            f"dilation={self.exec_time_ratio:5.2f}x"
+        )
+
+
+class ExperimentRunner:
+    """Builds and runs cluster simulations with consistent methodology."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        host_params: Optional[HostModelParams] = None,
+        barrier: Optional[BarrierModel] = None,
+        latency_factory=PAPER_NETWORK,
+        timeline_bucket: Optional[SimTime] = None,
+        record_traffic: bool = False,
+        transport: Optional[TransportConfig] = None,
+    ) -> None:
+        self.seed = seed
+        self.host_params = host_params or HostModelParams()
+        self.barrier = barrier or BarrierModel()
+        self.latency_factory = latency_factory
+        self.timeline_bucket = timeline_bucket
+        self.record_traffic = record_traffic
+        self.transport = transport
+        self._ground_truth: dict[tuple[str, int], ExperimentRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # Single runs
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        workload: Workload,
+        size: int,
+        policy: QuantumPolicy,
+        label: str = "",
+    ) -> ExperimentRecord:
+        """Run *workload* on a fresh *size*-node cluster under *policy*."""
+        apps = workload.build_apps(size)
+        nodes = [
+            SimulatedNode(rank, app, transport=self.transport)
+            for rank, app in enumerate(apps)
+        ]
+        latency: LatencyModel = self.latency_factory(size)
+        trace = TrafficTrace(size) if self.record_traffic else None
+        controller = NetworkController(
+            size, latency, trace=trace.record if trace else None
+        )
+        config = ClusterConfig(
+            seed=self.seed,
+            host_params=self.host_params,
+            barrier=self.barrier,
+            timeline_bucket=self.timeline_bucket,
+        )
+        simulator = ClusterSimulator(nodes, controller, policy, config)
+        result = simulator.run()
+        if not result.completed:
+            raise RuntimeError(
+                f"{workload.name} at {size} nodes under {label or policy.describe()} "
+                f"hit the simulated-time limit; raise ClusterConfig.sim_time_limit "
+                f"or shrink the workload"
+            )
+        return ExperimentRecord(
+            workload_name=workload.name,
+            size=size,
+            policy_label=label or policy.describe(),
+            seed=self.seed,
+            metric=workload.metric(result),
+            result=result,
+            trace=trace,
+        )
+
+    def run_spec(self, workload: Workload, size: int, spec: PolicySpec) -> ExperimentRecord:
+        return self.run(workload, size, spec.build(), label=spec.label)
+
+    # ------------------------------------------------------------------ #
+    # Ground truth and comparisons
+    # ------------------------------------------------------------------ #
+
+    def ground_truth(self, workload: Workload, size: int) -> ExperimentRecord:
+        """The 1 us-quantum reference run, cached per (workload, size)."""
+        key = (workload.name, size)
+        record = self._ground_truth.get(key)
+        if record is None:
+            record = self.run_spec(workload, size, ground_truth_policy())
+            stats = record.result.controller_stats
+            if stats.stragglers != 0:
+                raise RuntimeError(
+                    f"ground truth for {workload.name} at {size} nodes saw "
+                    f"{stats.stragglers} stragglers; the quantum must not "
+                    f"exceed the minimum network latency"
+                )
+            self._ground_truth[key] = record
+        return record
+
+    def compare(
+        self, workload: Workload, record: ExperimentRecord
+    ) -> ComparisonRow:
+        """Compare *record* to the cached ground truth of its (workload, size)."""
+        truth = self.ground_truth(workload, record.size)
+        return ComparisonRow(
+            workload_name=record.workload_name,
+            size=record.size,
+            policy_label=record.policy_label,
+            metric=record.metric,
+            accuracy_error=workload.accuracy_error(record.result, truth.result),
+            speedup=record.result.speedup_vs(truth.result),
+            exec_time_ratio=workload.exec_time_ratio(record.result, truth.result),
+            straggler_fraction=record.result.controller_stats.straggler_fraction,
+            mean_quantum=record.result.quantum_stats.mean_quantum,
+        )
+
+    def run_and_compare(
+        self, workload: Workload, size: int, spec: PolicySpec
+    ) -> ComparisonRow:
+        return self.compare(workload, self.run_spec(workload, size, spec))
+
+    def run_matrix(
+        self,
+        workload: Workload,
+        sizes: tuple[int, ...],
+        specs: list[PolicySpec],
+    ) -> list[ComparisonRow]:
+        """Every (size, policy) combination, compared to ground truth."""
+        rows = []
+        for size in sizes:
+            self.ground_truth(workload, size)
+            for spec in specs:
+                rows.append(self.run_and_compare(workload, size, spec))
+        return rows

@@ -1,0 +1,49 @@
+"""Fixed-width text tables for the paper's figures and tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned table (first column left, rest right)."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    return f"{100 * value:.{digits}f}%"
+
+
+def times(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}x"
+
+
+def microseconds(value_ns: float, digits: int = 1) -> str:
+    return f"{value_ns / 1000:.{digits}f}us"

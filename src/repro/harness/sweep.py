@@ -1,0 +1,80 @@
+"""Parameter sweeps: the inc/dec design space of Algorithm 1.
+
+Section 3 of the paper reports that "the best configurations are those that
+grow the quantum in very small increments (such as 2% to 5%) but decrease
+it very quickly".  This module sweeps acceleration and deceleration factors
+over a workload and reports the error/speedup landscape, which the ablation
+benchmark uses to verify that claim holds in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantum import AdaptiveQuantumPolicy
+from repro.engine.units import MICROSECOND, SimTime
+from repro.harness.configs import PolicySpec
+from repro.harness.experiment import ComparisonRow, ExperimentRunner
+from repro.harness.report import format_table, percent, times
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SweepPoint:
+    inc: float
+    dec: float
+    row: ComparisonRow
+
+
+@dataclass
+class SweepResult:
+    workload_name: str
+    size: int
+    points: list[SweepPoint]
+
+    def best_by_error(self) -> SweepPoint:
+        return min(self.points, key=lambda point: point.row.accuracy_error)
+
+    def best_by_speedup(self) -> SweepPoint:
+        return max(self.points, key=lambda point: point.row.speedup)
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{point.inc:.2f}:{point.dec:.2f}",
+                percent(point.row.accuracy_error),
+                times(point.row.speedup),
+                f"{point.row.mean_quantum / 1000:.1f}us",
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            ["inc:dec", "error", "speedup", "mean Q"],
+            rows,
+            f"inc/dec sweep — {self.workload_name} at {self.size} nodes",
+        )
+
+
+def sweep_inc_dec(
+    runner: ExperimentRunner,
+    workload: Workload,
+    size: int,
+    incs: tuple[float, ...] = (1.01, 1.03, 1.05, 1.10, 1.30),
+    decs: tuple[float, ...] = (0.02, 0.10, 0.50, 0.90),
+    min_quantum: SimTime = MICROSECOND,
+    max_quantum: SimTime = 1000 * MICROSECOND,
+) -> SweepResult:
+    """Run the workload under every (inc, dec) combination."""
+    points = []
+    for inc in incs:
+        for dec in decs:
+            spec = PolicySpec(
+                f"dyn {inc:.2f}:{dec:.2f}",
+                lambda inc=inc, dec=dec: AdaptiveQuantumPolicy(
+                    min_quantum, max_quantum, inc=inc, dec=dec
+                ),
+            )
+            points.append(
+                SweepPoint(inc, dec, runner.run_and_compare(workload, size, spec))
+            )
+    return SweepResult(workload_name=workload.name, size=size, points=points)

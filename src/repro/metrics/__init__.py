@@ -1,0 +1,20 @@
+"""Measurement machinery for the paper's evaluation.
+
+* :mod:`repro.metrics.accuracy` — relative errors and the NAS harmonic-mean
+  aggregation used by Figure 6.
+* :mod:`repro.metrics.pareto` — the Pareto-optimality analysis of Figure 8.
+* :mod:`repro.metrics.traffic` — packet traces and the traffic/speedup-over-
+  time series of Figure 9.
+"""
+
+from repro.metrics.accuracy import nas_aggregate, relative_error
+from repro.metrics.pareto import ParetoPoint, pareto_front
+from repro.metrics.traffic import TrafficTrace
+
+__all__ = [
+    "relative_error",
+    "nas_aggregate",
+    "ParetoPoint",
+    "pareto_front",
+    "TrafficTrace",
+]

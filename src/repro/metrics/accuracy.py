@@ -1,0 +1,46 @@
+"""Accuracy metrics: relative errors and the NAS aggregate.
+
+The paper's Figure 6 reports one accuracy bar per (configuration, cluster
+size): the harmonic mean of the five NAS kernels' MOPS under that
+configuration, as a relative error against the harmonic mean under the
+ground-truth (1 us quantum) runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.workloads.base import harmonic_mean
+
+
+def relative_error(value: float, reference: float) -> float:
+    """``|value - reference| / |reference|``."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return abs(value - reference) / abs(reference)
+
+
+def nas_aggregate(mops_by_benchmark: Mapping[str, float]) -> float:
+    """Aggregate per-kernel MOPS the NAS way (harmonic mean)."""
+    if not mops_by_benchmark:
+        raise ValueError("no benchmark results to aggregate")
+    return harmonic_mean(mops_by_benchmark.values())
+
+
+def nas_aggregate_error(
+    mops_by_benchmark: Mapping[str, float],
+    ground_truth_mops: Mapping[str, float],
+) -> float:
+    """Relative error of the aggregated MOPS vs. the aggregated ground truth.
+
+    Raises if the two result sets cover different benchmarks — comparing
+    aggregates over different suites would be meaningless.
+    """
+    if set(mops_by_benchmark) != set(ground_truth_mops):
+        raise ValueError(
+            f"benchmark sets differ: {sorted(mops_by_benchmark)} "
+            f"vs {sorted(ground_truth_mops)}"
+        )
+    return relative_error(
+        nas_aggregate(mops_by_benchmark), nas_aggregate(ground_truth_mops)
+    )

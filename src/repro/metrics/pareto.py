@@ -1,0 +1,61 @@
+"""Pareto-optimality analysis (the paper's Figure 8).
+
+Each experiment is a point: accuracy error on the x axis (smaller is
+better), simulation speedup on the y axis (larger is better).  "A point ...
+is considered Pareto optimal if there is no other point that performs at
+least as well on one criterion and strictly better on the other."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One experiment in error/speedup space."""
+
+    label: str
+    error: float
+    speedup: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is at least as good on both criteria and
+        strictly better on at least one."""
+        at_least_as_good = self.error <= other.error and self.speedup >= other.speedup
+        strictly_better = self.error < other.error or self.speedup > other.speedup
+        return at_least_as_good and strictly_better
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """The Pareto-optimal subset, sorted by increasing error.
+
+    Duplicate coordinates are all kept (none dominates the other).
+    """
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda point: (point.error, -point.speedup))
+
+
+def distance_to_front(point: ParetoPoint, front: list[ParetoPoint]) -> float:
+    """Smallest gap between *point* and any front member (0.0 on the front).
+
+    Used to assert the paper's claim that "all adaptive configurations lie
+    in or very near the Pareto curve".  The gap to a front member is the
+    larger of (a) the *absolute* error excess (errors are already relative
+    quantities, so absolute differences of e.g. 0.02 mean "2 percentage
+    points worse") and (b) the *relative* speedup shortfall.
+    """
+    if not front:
+        raise ValueError("empty front")
+    if any(member == point for member in front):
+        return 0.0
+    best = float("inf")
+    for member in front:
+        error_gap = max(0.0, point.error - member.error)
+        speedup_gap = max(0.0, member.speedup - point.speedup) / max(member.speedup, 1e-12)
+        best = min(best, max(error_gap, speedup_gap))
+    return best

@@ -1,0 +1,236 @@
+"""Collective communication algorithms.
+
+These are the classic algorithms (the same families LAM/MPICH use), chosen
+so the *wire patterns* match what the paper's benchmarks generate:
+
+=============  =====================================  ====================
+Collective     Algorithm                              Messages (size N)
+=============  =====================================  ====================
+barrier        dissemination                          N * ceil(log2 N)
+bcast          binomial tree                          N - 1
+reduce         binomial tree (reversed)               N - 1
+allreduce      recursive doubling (power-of-two N),   N * log2 N
+               else reduce + bcast                    2 (N - 1)
+alltoall       pairwise exchange                      N (N - 1)
+allgather      ring                                   N (N - 1)
+gather         linear fan-in                          N - 1
+scatter        linear fan-out                         N - 1
+=============  =====================================  ====================
+
+All functions are generators; values are carried in message payloads so the
+test-suite can assert semantic correctness (an allreduce really computes the
+reduction) on top of the timing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.node.requests import Recv, Request, Send
+
+from repro.mpi import api as _api
+
+
+def _send(dst: int, nbytes: int, tag: int, payload: Any) -> Generator[Request, Any, None]:
+    """Internal send using the reserved collective tag space."""
+    yield Send(dst=dst, nbytes=nbytes, tag=tag, payload=payload)
+
+
+def _recv(src: int, tag: int) -> Generator[Request, Any, Any]:
+    message = yield Recv(src=src, tag=tag)
+    return message
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def barrier(mpi: "_api.MpiRank") -> Generator[Request, Any, None]:
+    """Dissemination barrier: ceil(log2 N) rounds of shifted exchanges."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    distance = 1
+    step = 0
+    while distance < size:
+        dst = (rank + distance) % size
+        src = (rank - distance) % size
+        yield from _send(dst, 0, base + step, None)
+        yield from _recv(src, base + step)
+        distance <<= 1
+        step += 1
+
+
+def bcast(
+    mpi: "_api.MpiRank", root: int, nbytes: int, value: Any = None
+) -> Generator[Request, Any, Any]:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range")
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (relative - mask + root) % size
+            message = yield from _recv(src, base)
+            value = message.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            dst = (relative + mask + root) % size
+            yield from _send(dst, nbytes, base, value)
+        mask >>= 1
+    return value
+
+
+def reduce(
+    mpi: "_api.MpiRank",
+    root: int,
+    nbytes: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+) -> Generator[Request, Any, Any]:
+    """Binomial-tree reduction; the root returns the combined value."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range")
+    relative = (rank - root) % size
+    accumulator = value
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (relative - mask + root) % size
+            yield from _send(dst, nbytes, base, accumulator)
+            return None
+        partner = relative | mask
+        if partner < size:
+            src = (partner + root) % size
+            message = yield from _recv(src, base)
+            accumulator = op(accumulator, message.payload)
+        mask <<= 1
+    return accumulator
+
+
+def allreduce(
+    mpi: "_api.MpiRank",
+    nbytes: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+) -> Generator[Request, Any, Any]:
+    """Recursive-doubling allreduce (falls back to reduce+bcast for odd N)."""
+    size, rank = mpi.size, mpi.rank
+    if not _is_power_of_two(size):
+        partial = yield from reduce(mpi, 0, nbytes, value, op)
+        total = yield from bcast(mpi, 0, nbytes, partial)
+        return total
+    base = mpi._next_collective_tags()
+    accumulator = value
+    mask = 1
+    step = 0
+    while mask < size:
+        peer = rank ^ mask
+        yield from _send(peer, nbytes, base + step, accumulator)
+        message = yield from _recv(peer, base + step)
+        accumulator = op(accumulator, message.payload)
+        mask <<= 1
+        step += 1
+    return accumulator
+
+
+def alltoall(
+    mpi: "_api.MpiRank",
+    nbytes: int,
+    values: Optional[list[Any]] = None,
+) -> Generator[Request, Any, list[Any]]:
+    """Pairwise-exchange all-to-all: N-1 fully dependent exchange steps.
+
+    This is the pattern behind NAS-IS's worst-case behaviour: every step
+    couples every pair of nodes, so a straggler delay anywhere dilates the
+    whole chain.
+    """
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    if values is not None and len(values) != size:
+        raise ValueError(f"values must have one entry per rank ({size})")
+    result: list[Any] = [None] * size
+    result[rank] = values[rank] if values is not None else None
+    power_of_two = _is_power_of_two(size)
+    for step in range(1, size):
+        if power_of_two:
+            send_to = recv_from = rank ^ step
+        else:
+            send_to = (rank + step) % size
+            recv_from = (rank - step) % size
+        outgoing = values[send_to] if values is not None else None
+        yield from _send(send_to, nbytes, base + step, outgoing)
+        message = yield from _recv(recv_from, base + step)
+        result[recv_from] = message.payload
+    return result
+
+
+def allgather(
+    mpi: "_api.MpiRank", nbytes: int, value: Any = None
+) -> Generator[Request, Any, list[Any]]:
+    """Ring allgather: N-1 neighbour steps, each forwarding the newest piece."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    result: list[Any] = [None] * size
+    result[rank] = value
+    carried: tuple[int, Any] = (rank, value)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        yield from _send(right, nbytes, base + step, carried)
+        message = yield from _recv(left, base + step)
+        carried = message.payload
+        origin, piece = carried
+        result[origin] = piece
+    return result
+
+
+def gather(
+    mpi: "_api.MpiRank", root: int, nbytes: int, value: Any = None
+) -> Generator[Request, Any, Optional[list[Any]]]:
+    """Linear fan-in gather; the root returns values in rank order."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range")
+    if rank != root:
+        yield from _send(root, nbytes, base, value)
+        return None
+    result: list[Any] = [None] * size
+    result[root] = value
+    for src in range(size):
+        if src == root:
+            continue
+        message = yield from _recv(src, base)
+        result[src] = message.payload
+    return result
+
+
+def scatter(
+    mpi: "_api.MpiRank",
+    root: int,
+    nbytes: int,
+    values: Optional[list[Any]] = None,
+) -> Generator[Request, Any, Any]:
+    """Linear fan-out scatter; each rank returns its slice of the root's list."""
+    base = mpi._next_collective_tags()
+    size, rank = mpi.size, mpi.rank
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range")
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(f"root must supply one value per rank ({size})")
+        for dst in range(size):
+            if dst == root:
+                continue
+            yield from _send(dst, nbytes, base, values[dst])
+        return values[root]
+    message = yield from _recv(root, base)
+    return message.payload

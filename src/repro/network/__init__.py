@@ -1,0 +1,51 @@
+"""Network substrate: packets, latency models, topologies, and the controller.
+
+The paper bridges every node's simulated NIC to a centralized *network
+controller* that plays the role of a perfect link-layer (MAC-to-MAC) switch:
+it routes packets functionally and attaches a timing model to each hop.  This
+subpackage provides
+
+* the :class:`~repro.network.packet.Packet` wire unit (jumbo Ethernet frames),
+* latency models combining NIC serialisation, NIC minimum latency, and
+  switch/topology latency (:mod:`repro.network.latency`),
+* topologies from the paper's perfect star switch to multi-stage fabrics
+  (:mod:`repro.network.topology`), and
+* the :class:`~repro.network.controller.NetworkController` itself, which
+  routes packets, holds packets due in future quanta, implements the
+  straggler delivery policy of Figure 3, and counts per-quantum traffic for
+  the adaptive quantum algorithm.
+"""
+
+from repro.network.controller import DeliveryDecision, DeliveryKind, NetworkController
+from repro.network.latency import (
+    LatencyModel,
+    NicSwitchLatencyModel,
+    UniformLatencyModel,
+    PAPER_NETWORK,
+)
+from repro.network.packet import BROADCAST, JUMBO_FRAME_BYTES, Packet
+from repro.network.queueing import OutputQueuedSwitchModel
+from repro.network.topology import (
+    FullyConnectedTopology,
+    StarTopology,
+    Topology,
+    TwoLevelTreeTopology,
+)
+
+__all__ = [
+    "Packet",
+    "BROADCAST",
+    "JUMBO_FRAME_BYTES",
+    "LatencyModel",
+    "NicSwitchLatencyModel",
+    "UniformLatencyModel",
+    "OutputQueuedSwitchModel",
+    "PAPER_NETWORK",
+    "Topology",
+    "StarTopology",
+    "FullyConnectedTopology",
+    "TwoLevelTreeTopology",
+    "NetworkController",
+    "DeliveryDecision",
+    "DeliveryKind",
+]

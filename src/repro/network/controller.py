@@ -1,0 +1,266 @@
+"""The centralized network controller.
+
+This is the component the paper adds to a set of independent full-system
+simulators to expand "the simulated world" to the whole cluster: a functional
+link-layer switch with a timing model attached.  It
+
+* routes frames between nodes (resolving broadcasts into per-destination
+  copies),
+* stamps each frame with its exact due time ``send_time + latency``,
+* implements the delivery policy of Figure 3 — exact delivery when the
+  destination has not yet simulated past the due time, *straggler* delivery
+  at the destination's current position when it has, and queue-to-next-
+  quantum when the destination already finished its quantum,
+* holds frames due in future quanta and releases them when their window
+  opens, and
+* counts frames per quantum (``np``), the observable that drives the
+  adaptive quantum algorithm.
+
+The controller is deliberately ignorant of *how* node positions in host time
+are computed; it asks a :class:`ClusterState` (implemented by the driver in
+:mod:`repro.core.cluster`) so the delivery policy is testable in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Protocol
+
+from repro.engine.units import SimTime
+from repro.network.latency import LatencyModel
+from repro.network.packet import Packet
+
+
+class ClusterState(Protocol):
+    """What the controller needs to know about the synchronized cluster."""
+
+    def quantum_window(self) -> tuple[SimTime, SimTime]:
+        """The current quantum as ``(start, end)`` in simulated time."""
+
+    def node_position_at(self, node: int, host_time: float) -> SimTime:
+        """Node *node*'s simulated clock at host instant *host_time*,
+        capped at the quantum end (a node never runs past the barrier)."""
+
+
+class DeliveryKind(enum.Enum):
+    """How a frame reached (or will reach) its destination."""
+
+    #: Delivered at its exact due time inside the current quantum.
+    EXACT_NOW = "exact-now"
+    #: Due in a later quantum; held and delivered exactly (never an error).
+    EXACT_FUTURE = "exact-future"
+    #: Destination already simulated past the due time; delivered late at the
+    #: destination's current position (Figure 3(b)).
+    STRAGGLER_NOW = "straggler-now"
+    #: Destination already finished its quantum; latency snaps to the next
+    #: quantum boundary (Figure 3(d)).
+    STRAGGLER_NEXT_QUANTUM = "straggler-next-quantum"
+
+
+@dataclass
+class DeliveryDecision:
+    """The controller's verdict for one frame/destination pair."""
+
+    packet: Packet
+    kind: DeliveryKind
+    deliver_time: SimTime
+
+    @property
+    def immediate(self) -> bool:
+        """True when the driver must schedule delivery inside this quantum."""
+        return self.kind in (DeliveryKind.EXACT_NOW, DeliveryKind.STRAGGLER_NOW)
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate accounting over a run."""
+
+    packets_routed: int = 0
+    broadcast_fanouts: int = 0
+    exact_now: int = 0
+    exact_future: int = 0
+    stragglers_now: int = 0
+    stragglers_next_quantum: int = 0
+    total_delay_error: SimTime = 0
+    max_delay_error: SimTime = 0
+    quanta_seen: int = 0
+    busy_quanta: int = 0  # quanta with np > 0
+
+    @property
+    def stragglers(self) -> int:
+        return self.stragglers_now + self.stragglers_next_quantum
+
+    @property
+    def straggler_fraction(self) -> float:
+        if self.packets_routed == 0:
+            return 0.0
+        return self.stragglers / self.packets_routed
+
+    def mean_delay_error(self) -> float:
+        """Mean extra delay per routed frame, in simulated nanoseconds."""
+        if self.packets_routed == 0:
+            return 0.0
+        return self.total_delay_error / self.packets_routed
+
+
+class NetworkController:
+    """Functional + timing switch with the quantum-aware delivery policy."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        latency_model: LatencyModel,
+        cluster: Optional[ClusterState] = None,
+        trace: Optional[Callable[[SimTime, int, int, int], None]] = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("a cluster needs at least two nodes")
+        self.num_nodes = num_nodes
+        self.latency_model = latency_model
+        self.cluster = cluster
+        self.trace = trace
+        self.stats = ControllerStats()
+        self.packets_this_quantum = 0
+        self._future: list[tuple[SimTime, int, DeliveryDecision]] = []
+        self._future_seq = 0
+
+    def bind(self, cluster: ClusterState) -> None:
+        """Attach the cluster driver (done once the driver is constructed)."""
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------ #
+    # Submission path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, packet: Packet, sender_host_time: float) -> list[DeliveryDecision]:
+        """Route *packet*, deciding delivery for each destination.
+
+        *sender_host_time* is the host instant at which the sending node's
+        simulation emitted the frame — the moment the functional packet hits
+        the controller and the race against the destination is decided.
+
+        Returns the decisions whose :attr:`DeliveryDecision.immediate` is
+        True; held frames (exact-future and queue-to-next-quantum) are kept
+        internally and surface through :meth:`release_due`.
+        """
+        if self.cluster is None:
+            raise RuntimeError("controller is not bound to a cluster")
+        destinations = self._destinations(packet)
+        immediate = []
+        for dst, frame in destinations:
+            decision = self._decide(frame, dst, sender_host_time)
+            self._account(decision)
+            if decision.immediate:
+                immediate.append(decision)
+            else:
+                self._hold(decision)
+        return immediate
+
+    def _destinations(self, packet: Packet) -> Iterable[tuple[int, Packet]]:
+        if not packet.is_broadcast:
+            if not 0 <= packet.dst < self.num_nodes:
+                raise ValueError(f"destination {packet.dst} out of range")
+            return [(packet.dst, packet)]
+        self.stats.broadcast_fanouts += 1
+        return [
+            (dst, packet.clone_for(dst))
+            for dst in range(self.num_nodes)
+            if dst != packet.src
+        ]
+
+    def _decide(self, packet: Packet, dst: int, sender_host_time: float) -> DeliveryDecision:
+        assert self.cluster is not None
+        start, end = self.cluster.quantum_window()
+        due = packet.send_time + self.latency_model.latency(packet, dst)
+        packet.due_time = due
+        if due >= end:
+            # Due beyond the barrier: hold it, delivery will be exact.
+            packet.deliver_time = due
+            return DeliveryDecision(packet, DeliveryKind.EXACT_FUTURE, due)
+        position = self.cluster.node_position_at(dst, sender_host_time)
+        if position <= due:
+            packet.deliver_time = due
+            return DeliveryDecision(packet, DeliveryKind.EXACT_NOW, due)
+        packet.straggler = True
+        if position < end:
+            packet.deliver_time = position
+            return DeliveryDecision(packet, DeliveryKind.STRAGGLER_NOW, position)
+        # Destination has already reached the barrier (Figure 3(d)):
+        # the only option is delivery at the start of the next quantum.
+        packet.deliver_time = end
+        return DeliveryDecision(packet, DeliveryKind.STRAGGLER_NEXT_QUANTUM, end)
+
+    def _account(self, decision: DeliveryDecision) -> None:
+        stats = self.stats
+        stats.packets_routed += 1
+        self.packets_this_quantum += 1
+        kind = decision.kind
+        if kind is DeliveryKind.EXACT_NOW:
+            stats.exact_now += 1
+        elif kind is DeliveryKind.EXACT_FUTURE:
+            stats.exact_future += 1
+        elif kind is DeliveryKind.STRAGGLER_NOW:
+            stats.stragglers_now += 1
+        else:
+            stats.stragglers_next_quantum += 1
+        error = decision.packet.delay_error
+        stats.total_delay_error += error
+        if error > stats.max_delay_error:
+            stats.max_delay_error = error
+        if self.trace is not None:
+            packet = decision.packet
+            self.trace(packet.send_time, packet.src, packet.dst, packet.size_bytes)
+
+    def _hold(self, decision: DeliveryDecision) -> None:
+        heapq.heappush(
+            self._future, (decision.deliver_time, self._future_seq, decision)
+        )
+        self._future_seq += 1
+
+    # ------------------------------------------------------------------ #
+    # Quantum boundary path
+    # ------------------------------------------------------------------ #
+
+    def end_quantum(self) -> int:
+        """Close the current quantum; returns ``np`` and resets the counter."""
+        np_count = self.packets_this_quantum
+        self.packets_this_quantum = 0
+        self.stats.quanta_seen += 1
+        if np_count > 0:
+            self.stats.busy_quanta += 1
+        return np_count
+
+    def note_idle_quanta(self, count: int) -> None:
+        """Account for *count* packet-free quanta skipped by fast-forward."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.stats.quanta_seen += count
+
+    def release_due(self, window_start: SimTime, window_end: SimTime) -> list[DeliveryDecision]:
+        """Pop held frames whose delivery time falls inside the new window."""
+        if window_end <= window_start:
+            raise ValueError("window must be non-empty")
+        released = []
+        while self._future and self._future[0][0] < window_end:
+            deliver_time, _, decision = heapq.heappop(self._future)
+            if deliver_time < window_start:
+                raise RuntimeError(
+                    f"held frame for t={deliver_time} missed its window "
+                    f"[{window_start}, {window_end})"
+                )
+            released.append(decision)
+        return released
+
+    def next_held_time(self) -> Optional[SimTime]:
+        """Delivery time of the earliest held frame (None when empty).
+
+        The fast-forward span accelerator uses this to bound how far it may
+        skip ahead without missing a delivery.
+        """
+        return self._future[0][0] if self._future else None
+
+    def pending_count(self) -> int:
+        """Number of held frames (visibility for tests and the harness)."""
+        return len(self._future)

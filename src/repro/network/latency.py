@@ -1,0 +1,105 @@
+"""Packet latency models.
+
+The total simulated latency of a frame (the ``tn`` of the paper's Figure 2)
+is composed of
+
+* the NIC minimum latency (DMA, interrupt, driver path) — the paper models a
+  very aggressive 1 us,
+* wire serialisation at the NIC line rate — the paper uses 10 Gbit/s, so a
+  9000-byte jumbo frame costs 7.2 us of serialisation, and
+* the topology's switching latency — zero for the paper's perfect switch.
+
+The paper chose this configuration deliberately: *low* latencies mean more
+stragglers and therefore the hardest case for synchronization.  The minimum
+latency over all pairs (:meth:`LatencyModel.min_latency`) is the ``T`` of the
+conservative bound ``Q <= T``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.engine.units import MICROSECOND, SimTime
+from repro.network.packet import FRAME_HEADER_BYTES, Packet
+from repro.network.topology import StarTopology, Topology
+
+
+class LatencyModel(ABC):
+    """Maps a frame and its path to a simulated latency."""
+
+    @abstractmethod
+    def latency(self, packet: Packet, dst: int) -> SimTime:
+        """Latency for *packet* travelling to *dst* (resolves broadcasts)."""
+
+    @abstractmethod
+    def min_latency(self) -> SimTime:
+        """The smallest latency any frame can experience (the PDES ``T``)."""
+
+
+@dataclass
+class UniformLatencyModel(LatencyModel):
+    """Every frame takes the same fixed latency; useful in unit tests."""
+
+    fixed: SimTime
+
+    def __post_init__(self) -> None:
+        if self.fixed <= 0:
+            raise ValueError("latency must be positive")
+
+    def latency(self, packet: Packet, dst: int) -> SimTime:
+        return self.fixed
+
+    def min_latency(self) -> SimTime:
+        return self.fixed
+
+
+class NicSwitchLatencyModel(LatencyModel):
+    """NIC serialisation + NIC minimum latency + topology latency.
+
+    ``latency = nic_min + size_bytes * 8 / bandwidth + topology.extra_latency``
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bandwidth_bits_per_sec: float = 10e9,
+        nic_min_latency: SimTime = MICROSECOND,
+    ) -> None:
+        if bandwidth_bits_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if nic_min_latency <= 0:
+            raise ValueError("NIC minimum latency must be positive")
+        self.topology = topology
+        self.bandwidth_bits_per_sec = bandwidth_bits_per_sec
+        self.nic_min_latency = nic_min_latency
+        # Pre-computed nanoseconds per byte on the wire.
+        self._ns_per_byte = 8.0e9 / bandwidth_bits_per_sec
+
+    def serialization(self, size_bytes: int) -> SimTime:
+        """Wire time for *size_bytes* at the NIC line rate."""
+        return round(size_bytes * self._ns_per_byte)
+
+    def latency(self, packet: Packet, dst: int) -> SimTime:
+        return (
+            self.nic_min_latency
+            + self.serialization(packet.size_bytes)
+            + self.topology.extra_latency(packet.src, dst)
+        )
+
+    def min_latency(self) -> SimTime:
+        smallest_frame = self.serialization(FRAME_HEADER_BYTES)
+        return self.nic_min_latency + smallest_frame + self.topology.min_extra_latency()
+
+
+def PAPER_NETWORK(num_nodes: int) -> NicSwitchLatencyModel:
+    """The paper's network: 10 Gbit/s NICs, 1 us minimum latency, perfect switch.
+
+    Named in caps because it is a configuration constant in function form
+    (it needs the node count to build the topology).
+    """
+    return NicSwitchLatencyModel(
+        topology=StarTopology(num_nodes, switch_latency=0),
+        bandwidth_bits_per_sec=10e9,
+        nic_min_latency=MICROSECOND,
+    )

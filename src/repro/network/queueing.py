@@ -1,0 +1,101 @@
+"""Output-queued switch: contention-aware network timing.
+
+The paper deliberately evaluates against "a perfect switch with infinite
+bandwidth and zero latency" — the hardest case for synchronization, because
+nothing slows packets down.  Section 3 notes, however, that within the
+network controller "we can model any kind of network/switch/router
+topology by making packets take more or less (simulated) time to reach
+their endpoints".  This module provides that generalisation: an
+output-queued switch where each destination port serialises at a finite
+port rate, so concurrent senders to one destination queue behind each
+other (incast contention).
+
+Being a :class:`~repro.network.latency.LatencyModel`, it plugs into the
+controller unchanged.  It is deliberately *stateful*: each port keeps a
+busy-until cursor in simulated time, advanced in packet-submission order.
+Caveat: the submission order is the controller's functional (host-time)
+order, so when two nodes contend for one port *within the same quantum*,
+which one queues first depends on the host-speed race — a contended ground
+truth is therefore deterministic per seed but not seed-independent the way
+the contention-free models are.  (Delays are add-only, so the ``Q <= T``
+zero-straggler guarantee is unaffected.)
+
+A slower, contended network gives larger effective latencies and therefore
+*fewer* stragglers for a given quantum — the inverse of the paper's chosen
+stress test; the effect is measurable with the ablation harness.
+"""
+
+from __future__ import annotations
+
+from repro.engine.units import SimTime
+from repro.network.latency import LatencyModel
+from repro.network.packet import FRAME_HEADER_BYTES, Packet
+from repro.network.topology import Topology
+
+
+class OutputQueuedSwitchModel(LatencyModel):
+    """NIC serialisation + switch output-port queueing + port serialisation.
+
+    ``arrival = max(due-from-wire, port_free) + port serialisation`` where
+    the wire component is the NIC model (minimum latency + line-rate
+    serialisation + topology latency), and each destination port drains at
+    ``port_bits_per_sec``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bandwidth_bits_per_sec: float = 10e9,
+        nic_min_latency: SimTime = 1_000,
+        port_bits_per_sec: float = 10e9,
+    ) -> None:
+        if bandwidth_bits_per_sec <= 0 or port_bits_per_sec <= 0:
+            raise ValueError("bandwidths must be positive")
+        if nic_min_latency <= 0:
+            raise ValueError("NIC minimum latency must be positive")
+        self.topology = topology
+        self.bandwidth_bits_per_sec = bandwidth_bits_per_sec
+        self.nic_min_latency = nic_min_latency
+        self.port_bits_per_sec = port_bits_per_sec
+        self._ns_per_byte_wire = 8.0e9 / bandwidth_bits_per_sec
+        self._ns_per_byte_port = 8.0e9 / port_bits_per_sec
+        self._port_free: dict[int, SimTime] = {}
+        self.contended_packets = 0
+        self.total_queueing = 0
+
+    def _wire_arrival(self, packet: Packet, dst: int) -> SimTime:
+        serialisation = round(packet.size_bytes * self._ns_per_byte_wire)
+        return (
+            packet.send_time
+            + self.nic_min_latency
+            + serialisation
+            + self.topology.extra_latency(packet.src, dst)
+        )
+
+    def latency(self, packet: Packet, dst: int) -> SimTime:
+        at_port = self._wire_arrival(packet, dst)
+        free = self._port_free.get(dst, 0)
+        if free > at_port:
+            self.contended_packets += 1
+            self.total_queueing += free - at_port
+            start = free
+        else:
+            start = at_port
+        drain = max(1, round(packet.size_bytes * self._ns_per_byte_port))
+        self._port_free[dst] = start + drain
+        return start + drain - packet.send_time
+
+    def min_latency(self) -> SimTime:
+        smallest = FRAME_HEADER_BYTES
+        return (
+            self.nic_min_latency
+            + round(smallest * self._ns_per_byte_wire)
+            + self.topology.min_extra_latency()
+            + max(1, round(smallest * self._ns_per_byte_port))
+        )
+
+    def reset(self) -> None:
+        """Clear port state (between independent runs sharing a model)."""
+        self._port_free.clear()
+        self.contended_packets = 0
+        self.total_queueing = 0

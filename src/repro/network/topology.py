@@ -1,0 +1,146 @@
+"""Network topologies: per-pair switch latency and hop counts.
+
+The paper models "a perfect switch with infinite bandwidth and zero latency"
+— the :class:`StarTopology` with zero per-hop cost.  Since the controller is
+the natural place to model "any kind of network/switch/router topology"
+(Section 3), we also provide a two-level tree (racks of nodes under a core
+switch, as a 64-node scale-out cluster would physically be wired) and a
+fully-connected point-to-point fabric, both used by the ablation benchmarks.
+
+A topology answers two questions about an (src, dst) pair:
+``hops`` — how many store-and-forward stages a frame crosses, and
+``extra_latency`` — the fixed switching latency for the path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.engine.units import SimTime
+
+
+class Topology(ABC):
+    """Latency structure of the cluster fabric."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"a cluster needs at least 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    def validate_pair(self, src: int, dst: int) -> None:
+        for node in (src, dst):
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(f"node id {node} out of range [0, {self.num_nodes})")
+        if src == dst:
+            raise ValueError(f"no path from node {src} to itself")
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of switch traversals between *src* and *dst*."""
+
+    @abstractmethod
+    def extra_latency(self, src: int, dst: int) -> SimTime:
+        """Fixed path latency added by the fabric (beyond the NICs)."""
+
+    def min_extra_latency(self) -> SimTime:
+        """Lower bound of :meth:`extra_latency` over all pairs.
+
+        The conservative quantum bound `Q <= T` uses the *minimum* network
+        latency; subclasses with non-uniform paths must override this.
+        """
+        return min(
+            self.extra_latency(src, dst)
+            for src in range(self.num_nodes)
+            for dst in range(self.num_nodes)
+            if src != dst
+        )
+
+
+class StarTopology(Topology):
+    """All nodes hang off one central switch (the paper's configuration).
+
+    With ``switch_latency=0`` this is the paper's perfect switch.
+    """
+
+    def __init__(self, num_nodes: int, switch_latency: SimTime = 0) -> None:
+        super().__init__(num_nodes)
+        if switch_latency < 0:
+            raise ValueError("switch latency must be non-negative")
+        self.switch_latency = switch_latency
+
+    def hops(self, src: int, dst: int) -> int:
+        self.validate_pair(src, dst)
+        return 1
+
+    def extra_latency(self, src: int, dst: int) -> SimTime:
+        self.validate_pair(src, dst)
+        return self.switch_latency
+
+    def min_extra_latency(self) -> SimTime:
+        return self.switch_latency
+
+
+class FullyConnectedTopology(Topology):
+    """Direct point-to-point links between every pair (no switch)."""
+
+    def __init__(self, num_nodes: int, link_latency: SimTime = 0) -> None:
+        super().__init__(num_nodes)
+        if link_latency < 0:
+            raise ValueError("link latency must be non-negative")
+        self.link_latency = link_latency
+
+    def hops(self, src: int, dst: int) -> int:
+        self.validate_pair(src, dst)
+        return 0
+
+    def extra_latency(self, src: int, dst: int) -> SimTime:
+        self.validate_pair(src, dst)
+        return self.link_latency
+
+    def min_extra_latency(self) -> SimTime:
+        return self.link_latency
+
+
+class TwoLevelTreeTopology(Topology):
+    """Racks of nodes under edge switches joined by a core switch.
+
+    Intra-rack frames traverse one switch; inter-rack frames traverse
+    edge -> core -> edge (three switch stages).  Models the physical wiring
+    of a scale-out cluster such as the paper's 64-node blade farm.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        rack_size: int,
+        edge_latency: SimTime,
+        core_latency: SimTime,
+    ) -> None:
+        super().__init__(num_nodes)
+        if rack_size < 1:
+            raise ValueError("rack size must be at least 1")
+        if edge_latency < 0 or core_latency < 0:
+            raise ValueError("switch latencies must be non-negative")
+        self.rack_size = rack_size
+        self.edge_latency = edge_latency
+        self.core_latency = core_latency
+
+    def rack_of(self, node: int) -> int:
+        return node // self.rack_size
+
+    def hops(self, src: int, dst: int) -> int:
+        self.validate_pair(src, dst)
+        return 1 if self.rack_of(src) == self.rack_of(dst) else 3
+
+    def extra_latency(self, src: int, dst: int) -> SimTime:
+        self.validate_pair(src, dst)
+        if self.rack_of(src) == self.rack_of(dst):
+            return self.edge_latency
+        return 2 * self.edge_latency + self.core_latency
+
+    def min_extra_latency(self) -> SimTime:
+        if self.rack_size >= 2 and self.num_nodes > self.rack_size:
+            return min(self.edge_latency, 2 * self.edge_latency + self.core_latency)
+        if self.rack_size >= 2:
+            return self.edge_latency
+        return 2 * self.edge_latency + self.core_latency

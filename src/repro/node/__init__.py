@@ -1,0 +1,60 @@
+"""Node substrate: the model standing in for a full-system node simulator.
+
+The paper's building block is AMD SimNow plus an in-house timing model — a
+complete x86 machine booting Linux.  The synchronization algorithm, however,
+only interacts with a node through a narrow surface:
+
+1. the node *emits timestamped packets* and *consumes delivered packets*,
+2. the node's simulated clock advances at some (varying) speed relative to
+   host wall-clock, and
+3. simulating the node costs host time.
+
+This subpackage models exactly that surface:
+
+* :mod:`repro.node.cpu` — target CPU timing (instructions -> simulated time),
+* :mod:`repro.node.hostmodel` — how fast the *simulator* of this node runs
+  (busy/idle slowdowns, stochastic host jitter, per-node heterogeneity),
+* :mod:`repro.node.nic` — NIC endpoint: fragmentation, wire pacing,
+  reassembly, the mailbox,
+* :mod:`repro.node.requests` — the primitive operations application
+  workloads yield (compute, send, receive, sleep), and
+* :mod:`repro.node.node` — the node runtime tying it together around a
+  local event queue and an application coroutine.
+"""
+
+from repro.node.cpu import CpuModel
+from repro.node.hostmodel import HostExecutionModel, HostModelParams
+from repro.node.nic import Message, NicModel
+from repro.node.sampling import SampledHostExecutionModel, SamplingSchedule
+from repro.node.transport import NodeTransport, TransportConfig
+from repro.node.node import NodeStats, SimulatedNode
+from repro.node.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    ComputeTime,
+    Recv,
+    Send,
+    Sleep,
+)
+
+__all__ = [
+    "CpuModel",
+    "HostExecutionModel",
+    "HostModelParams",
+    "NicModel",
+    "Message",
+    "SamplingSchedule",
+    "SampledHostExecutionModel",
+    "TransportConfig",
+    "NodeTransport",
+    "SimulatedNode",
+    "NodeStats",
+    "Compute",
+    "ComputeTime",
+    "Send",
+    "Recv",
+    "Sleep",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

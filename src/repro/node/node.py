@@ -1,0 +1,254 @@
+"""The node runtime: one simulated full-system node.
+
+A :class:`SimulatedNode` couples
+
+* an application coroutine (the workload) yielding the primitives of
+  :mod:`repro.node.requests`,
+* a :class:`~repro.node.cpu.CpuModel` converting ops to simulated time,
+* a :class:`~repro.node.nic.NicModel` for messaging, and
+* a **local event queue** in simulated time.
+
+The node never advances itself: the cluster driver (:mod:`repro.core.cluster`)
+peeks each node's earliest event, orders nodes in *host* time through their
+per-quantum affine maps, and pops/handles one event at a time.  This is what
+makes the node a faithful stand-in for an independent full-system simulator:
+it only ever interacts with the world through timestamped packet emissions
+(the ``emit_hook``) and packet deliveries (:meth:`SimulatedNode.deliver`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.process import Process, ProcessExit
+from repro.engine.units import SimTime
+from repro.network.packet import Packet
+from repro.node.cpu import CpuModel
+from repro.node.hostmodel import BUSY, IDLE
+from repro.node.nic import Message, NicModel
+from repro.node.requests import Compute, ComputeTime, Recv, Request, Send, Sleep
+from repro.node.transport import NodeTransport, TransportConfig
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting over a run."""
+
+    app_wakeups: int = 0
+    deliveries: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    blocked_time: SimTime = 0
+    straggler_messages: int = 0
+    straggler_delay: SimTime = 0
+
+
+@dataclass(frozen=True)
+class NodeCosts:
+    """CPU costs of the messaging software stack (target-side).
+
+    ``send/recv = base + per_byte * nbytes`` nanoseconds of busy target time.
+    These stand in for the MPI + TCP/IP stack the paper's guests run.
+    """
+
+    send_base: SimTime = 1_000
+    send_per_byte: float = 0.05
+    recv_base: SimTime = 800
+    recv_per_byte: float = 0.05
+
+    def send_cost(self, nbytes: int) -> SimTime:
+        return self.send_base + round(self.send_per_byte * nbytes)
+
+    def recv_cost(self, nbytes: int) -> SimTime:
+        return self.recv_base + round(self.recv_per_byte * nbytes)
+
+
+class SimulatedNode:
+    """One cluster node as seen by the synchronization layer."""
+
+    def __init__(
+        self,
+        node_id: int,
+        app: Generator[Request, Any, Any],
+        cpu: Optional[CpuModel] = None,
+        nic: Optional[NicModel] = None,
+        costs: Optional[NodeCosts] = None,
+        transport: Optional[TransportConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+        self.cpu = cpu or CpuModel()
+        self.nic = nic or NicModel(node_id)
+        self.costs = costs or NodeCosts()
+        self.transport = (
+            NodeTransport(node_id, transport) if transport is not None else None
+        )
+        self.process = Process(app, name=f"{self.name}/app")
+        self.queue = EventQueue()
+        self.activity = BUSY
+        self.finished = False
+        self.app_finish_time: Optional[SimTime] = None
+        self.app_result: Any = None
+        self.stats = NodeStats()
+        self._blocked_recv: Optional[Recv] = None
+        self._blocked_since: SimTime = 0
+        #: Driver-installed callback invoked when an emission event fires.
+        self.emit_hook: Optional[Callable[["SimulatedNode", Packet], None]] = None
+        #: Driver-installed callback invoked when the node's activity flips
+        #: between busy and idle mid-run (drives the piecewise host map).
+        self.activity_hook: Optional[
+            Callable[["SimulatedNode", SimTime, str], None]
+        ] = None
+
+    def _set_activity(self, now: SimTime, activity: str) -> None:
+        if activity == self.activity:
+            return
+        self.activity = activity
+        if self.activity_hook is not None:
+            self.activity_hook(self, now, activity)
+
+    # ------------------------------------------------------------------ #
+    # Driver surface
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule the application's first step at simulated time 0."""
+        self.queue.schedule(0, tag="app-wake", payload=None)
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Earliest pending local event time, or None when quiescent."""
+        return self.queue.peek_time()
+
+    def pop_and_handle(self) -> Event:
+        """Pop the earliest local event and process it; returns the event."""
+        event = self.queue.pop()
+        if event.tag == "app-wake":
+            self.stats.app_wakeups += 1
+            self._advance_app(event.time, event.payload)
+        elif event.tag == "emit":
+            if self.emit_hook is None:
+                raise RuntimeError(f"{self.name}: emit event without emit_hook")
+            self.emit_hook(self, event.payload)
+        elif event.tag == "delivery":
+            self._on_fragment(event.time, event.payload)
+        elif event.tag == "delack":
+            assert self.transport is not None
+            ack = self.transport.flush_ack(event.payload, self.nic.pace, event.time)
+            if ack is not None:
+                self.queue.schedule(ack.send_time, tag="emit", payload=ack)
+        else:
+            raise RuntimeError(f"{self.name}: unknown event tag {event.tag!r}")
+        return event
+
+    def deliver(self, packet: Packet, time: SimTime) -> None:
+        """Schedule a fragment delivery at *time* (called by the driver)."""
+        self.queue.schedule(time, tag="delivery", payload=packet)
+
+    @property
+    def blocked(self) -> bool:
+        """True while the application waits on a Recv."""
+        return self._blocked_recv is not None
+
+    # ------------------------------------------------------------------ #
+    # Application stepping
+    # ------------------------------------------------------------------ #
+
+    def _advance_app(self, now: SimTime, value: Any) -> None:
+        try:
+            request = self.process.step(value)
+        except ProcessExit as exit_:
+            self.finished = True
+            self.app_finish_time = now
+            self.app_result = exit_.result
+            self._set_activity(now, IDLE)
+            return
+        self._interpret(request, now)
+
+    def _interpret(self, request: Request, now: SimTime) -> None:
+        if isinstance(request, Compute):
+            self._wake_after(now, self.cpu.compute_time(request.ops), BUSY)
+        elif isinstance(request, ComputeTime):
+            self._wake_after(now, request.duration, BUSY)
+        elif isinstance(request, Sleep):
+            self._wake_after(now, request.duration, IDLE)
+        elif isinstance(request, Send):
+            self._do_send(request, now)
+        elif isinstance(request, Recv):
+            self._do_recv(request, now)
+        else:
+            raise TypeError(
+                f"{self.name}: application yielded unsupported request {request!r}"
+            )
+
+    def _wake_after(self, now: SimTime, delay: SimTime, activity: str, value: Any = None) -> None:
+        self._set_activity(now, activity)
+        self.queue.schedule(now + delay, tag="app-wake", payload=value)
+
+    def _do_send(self, request: Send, now: SimTime) -> None:
+        if self.transport is None:
+            frames = self.nic.build_frames(
+                request.dst, request.nbytes, request.tag, request.payload, now
+            )
+        else:
+            built = self.nic.build_frames(
+                request.dst, request.nbytes, request.tag, request.payload, now,
+                paced=False,
+            )
+            frames = self.transport.admit(built, self.nic.pace, now)
+        for frame in frames:
+            self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+        self.stats.messages_sent += 1
+        self._wake_after(now, self.costs.send_cost(request.nbytes), BUSY)
+
+    def _do_recv(self, request: Recv, now: SimTime) -> None:
+        message = self.nic.match(request)
+        if message is not None:
+            self._accept(message, now)
+            return
+        self._blocked_recv = request
+        self._blocked_since = now
+        self._set_activity(now, IDLE)
+
+    def _accept(self, message: Message, now: SimTime) -> None:
+        self.stats.messages_received += 1
+        if message.delay_error > 0:
+            self.stats.straggler_messages += 1
+            self.stats.straggler_delay += message.delay_error
+        self._wake_after(now, self.costs.recv_cost(message.nbytes), BUSY, value=message)
+
+    def _on_fragment(self, now: SimTime, packet: Packet) -> None:
+        self.stats.deliveries += 1
+        if packet.kind == "ack":
+            assert self.transport is not None, "ack received without transport"
+            for frame in self.transport.on_ack(packet, self.nic.pace, now):
+                self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+            return
+        if self.transport is not None:
+            ack = self.transport.ack_for(packet, self.nic.pace, now)
+            if ack is not None:
+                self.queue.schedule(ack.send_time, tag="emit", payload=ack)
+            elif self.transport.arm_delack(packet.src):
+                self.queue.schedule(
+                    now + self.transport.config.delack_timeout,
+                    tag="delack",
+                    payload=packet.src,
+                )
+        message = self.nic.receive_fragment(packet)
+        if message is None or self._blocked_recv is None:
+            return
+        if not self._blocked_recv.matches(message.src, message.tag):
+            return
+        # Wake the blocked application: re-pull through the mailbox so FIFO
+        # ordering is preserved if an earlier matching message also waits.
+        pulled = self.nic.match(self._blocked_recv)
+        assert pulled is not None
+        self._blocked_recv = None
+        self.stats.blocked_time += now - self._blocked_since
+        self._accept(pulled, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else ("blocked" if self.blocked else self.activity)
+        return f"SimulatedNode({self.name}, {state})"

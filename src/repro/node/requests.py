@@ -1,0 +1,101 @@
+"""Primitive requests an application coroutine may yield.
+
+Workloads (and the MPI layer built from sub-generators) ultimately reduce to
+these four primitives, which the node runtime in :mod:`repro.node.node`
+interprets:
+
+* :class:`Compute` / :class:`ComputeTime` — burn target CPU,
+* :class:`Send` — hand a message to the NIC (eager; resumes after the CPU
+  cost of injecting it, without waiting for delivery),
+* :class:`Recv` — block until a matching message is in the mailbox; the
+  resumed coroutine receives the :class:`~repro.node.nic.Message`,
+* :class:`Sleep` — idle for a fixed simulated duration.
+
+Requests are plain frozen dataclasses: easy to construct in tests and
+hashable for bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.units import SimTime
+
+#: Wildcards for Recv matching (MPI's MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY_SOURCE = -2
+ANY_TAG = -2
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute *ops* target instructions."""
+
+    ops: float
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ValueError("ops must be non-negative")
+
+
+@dataclass(frozen=True)
+class ComputeTime:
+    """Execute busy target code for a fixed simulated duration."""
+
+    duration: SimTime
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send *nbytes* of application payload to node *dst*.
+
+    Eager semantics: the sender resumes once the message is injected (CPU
+    overhead plus, for pacing purposes, the NIC owns wire serialisation).
+    ``dst`` may be :data:`repro.network.packet.BROADCAST`.
+    """
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a message matching (src, tag) arrives.
+
+    Either field may be a wildcard.  Matching is FIFO in arrival order among
+    messages that satisfy the filter.
+    """
+
+    src: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+    def matches(self, message_src: int, message_tag: int) -> bool:
+        if self.src != ANY_SOURCE and self.src != message_src:
+            return False
+        if self.tag != ANY_TAG and self.tag != message_tag:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle (target HLT) for a fixed simulated duration."""
+
+    duration: SimTime
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+Request = Compute | ComputeTime | Send | Recv | Sleep

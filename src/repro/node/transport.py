@@ -1,0 +1,227 @@
+"""Windowed reliable transport: the guest's TCP, modelled where it matters.
+
+The paper's benchmarks talk through real transports — LAM/MPI over TCP,
+NAMD over windowed UDP messaging.  Under quantum synchronization those
+stacks do something the plain eager model misses: a bulk transfer is
+*window limited*.  The sender may only keep ``window_bytes`` on the wire
+per flow; every further frame waits for an acknowledgement, so bulk
+throughput is ``window / RTT``.  When a large quantum inflates the observed
+RTT from microseconds to (up to) a whole quantum, per-flow throughput
+collapses by the same factor — this is the feedback loop that lets the
+paper report a *150x* execution-time divergence for NAS-IS at a 100 us
+quantum, far beyond what one-shot straggler delays can produce.
+
+This module implements exactly that mechanism, per (sender, destination)
+flow:
+
+* data frames beyond the window are queued at the sender's NIC and
+  released as acknowledgements return;
+* the receiver acknowledges every ``ack_every``-th data frame (and always
+  a message's final fragment) with a header-only frame after a small CPU
+  cost;
+* acknowledgements are ordinary packets: they traverse the controller,
+  experience latency, and can become stragglers — which is precisely how
+  quantum-induced delay compounds.
+
+The network is lossless and in-order (paper footnote 1 assumes
+retransmissions "rarely happen"), so no retransmit machinery is modelled —
+the stall, not the loss recovery, is the amplifier.
+
+Transport is **opt-in** (``SimulatedNode(transport=TransportConfig(...))``);
+the default eager model matches the calibrated headline experiments, and
+the transport ablation benchmark shows what windowing does to IS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.units import SimTime
+from repro.network.packet import BROADCAST, FRAME_HEADER_BYTES, Packet
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Per-flow windowing parameters.
+
+    Attributes:
+        window_bytes: bytes a flow may keep unacknowledged on the wire.
+            64 KiB mirrors a classic un-scaled TCP receive window.
+        ack_every: acknowledge every Nth data frame (TCP's delayed ack
+            coalescing); a message's last fragment is always acknowledged
+            so tails cannot stall.
+        ack_cpu: receiver CPU cost to generate an acknowledgement.
+        delack_timeout: the delayed-ack timer: bytes held unacknowledged
+            this long are acknowledged anyway.  Without it, a window
+            smaller than ``ack_every`` frames deadlocks — the same
+            interaction real TCP prevents with its 40-200 ms timer.
+    """
+
+    window_bytes: int = 65_536
+    ack_every: int = 2
+    ack_cpu: SimTime = 500
+    delack_timeout: SimTime = 100_000
+
+    def __post_init__(self) -> None:
+        if self.window_bytes < 1:
+            raise ValueError("window must be at least 1 byte")
+        if self.ack_every < 1:
+            raise ValueError("ack_every must be at least 1")
+        if self.ack_cpu < 0:
+            raise ValueError("ack_cpu must be non-negative")
+        if self.delack_timeout < 1:
+            raise ValueError("delack_timeout must be positive")
+
+
+@dataclass
+class _Flow:
+    """Sender-side state of one (this node -> dst) flow."""
+
+    outstanding: int = 0
+    queued: deque = field(default_factory=deque)
+
+
+@dataclass
+class TransportStats:
+    acks_sent: int = 0
+    acks_received: int = 0
+    frames_windowed: int = 0  # data frames that had to wait for the window
+    stall_time: SimTime = 0  # total queued-waiting time across frames
+
+
+class NodeTransport:
+    """Windowed-transport state machine for one node.
+
+    The node runtime consults :meth:`admit` when the application sends,
+    :meth:`on_ack` when an acknowledgement frame arrives, and
+    :meth:`ack_for` when a data frame arrives.  All returned frames carry a
+    valid ``send_time`` (the caller schedules an emission event per frame).
+    """
+
+    def __init__(self, node_id: int, config: TransportConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.stats = TransportStats()
+        self._flows: dict[int, _Flow] = {}
+        self._ack_bytes: dict[int, int] = {}  # unacked received bytes per source
+        self._ack_count: dict[int, int] = {}  # frames since last ack per source
+        self._delack_armed: set[int] = set()  # sources with a timer pending
+        self._queued_at: dict[int, SimTime] = {}  # packet_id -> queue time
+
+    def _flow(self, dst: int) -> _Flow:
+        flow = self._flows.get(dst)
+        if flow is None:
+            flow = _Flow()
+            self._flows[dst] = flow
+        return flow
+
+    # ------------------------------------------------------------------ #
+    # Sender side
+    # ------------------------------------------------------------------ #
+
+    def admit(self, frames: list[Packet], pace, now: SimTime) -> list[Packet]:
+        """Admit a message's frames to the wire, window permitting.
+
+        *pace* is the NIC's pacing function ``(now, size_bytes) -> SimTime``
+        assigning serialisation start times.  Returns the frames to emit
+        now; the remainder are queued until acknowledgements open the
+        window.  Broadcast frames bypass windowing (no single flow to
+        charge them to).
+        """
+        releasable = []
+        for frame in frames:
+            if frame.dst == BROADCAST:
+                frame.send_time = pace(now, frame.size_bytes)
+                releasable.append(frame)
+                continue
+            flow = self._flow(frame.dst)
+            if not flow.queued and self._fits(flow, frame):
+                flow.outstanding += frame.size_bytes
+                frame.send_time = pace(now, frame.size_bytes)
+                releasable.append(frame)
+            else:
+                flow.queued.append(frame)
+                self._queued_at[frame.packet_id] = now
+                self.stats.frames_windowed += 1
+        return releasable
+
+    def _fits(self, flow: _Flow, frame: Packet) -> bool:
+        # A frame larger than the whole window must still be sendable when
+        # the flow is idle, or it would deadlock.
+        if flow.outstanding == 0:
+            return True
+        return flow.outstanding + frame.size_bytes <= self.config.window_bytes
+
+    def on_ack(self, ack: Packet, pace, now: SimTime) -> list[Packet]:
+        """Credit an acknowledgement; returns frames the credit releases."""
+        self.stats.acks_received += 1
+        flow = self._flow(ack.src)
+        acked = ack.payload
+        flow.outstanding = max(0, flow.outstanding - acked)
+        released = []
+        while flow.queued and self._fits(flow, flow.queued[0]):
+            frame = flow.queued.popleft()
+            flow.outstanding += frame.size_bytes
+            frame.send_time = pace(now, frame.size_bytes)
+            released.append(frame)
+            queued_at = self._queued_at.pop(frame.packet_id, now)
+            self.stats.stall_time += max(0, now - queued_at)
+        return released
+
+    # ------------------------------------------------------------------ #
+    # Receiver side
+    # ------------------------------------------------------------------ #
+
+    def ack_for(self, packet: Packet, pace, now: SimTime) -> Optional[Packet]:
+        """Acknowledgement frame for a received data frame, if one is due.
+
+        Coalesced acks cover every byte received since the previous ack for
+        that source.
+        """
+        pending = self._ack_bytes.get(packet.src, 0) + packet.size_bytes
+        counter = self._ack_count.get(packet.src, 0) + 1
+        if counter < self.config.ack_every and not packet.last_fragment:
+            self._ack_bytes[packet.src] = pending
+            self._ack_count[packet.src] = counter
+            return None
+        return self._emit_ack(packet.src, pending, pace, now)
+
+    def _emit_ack(self, src: int, acked_bytes: int, pace, now: SimTime) -> Packet:
+        self._ack_bytes[src] = 0
+        self._ack_count[src] = 0
+        self._delack_armed.discard(src)
+        self.stats.acks_sent += 1
+        emit_at = pace(now + self.config.ack_cpu, FRAME_HEADER_BYTES)
+        return Packet(
+            src=self.node_id,
+            dst=src,
+            size_bytes=FRAME_HEADER_BYTES,
+            send_time=emit_at,
+            kind="ack",
+            payload=acked_bytes,
+        )
+
+    def arm_delack(self, src: int) -> bool:
+        """Arm the delayed-ack timer for *src*; False if already armed."""
+        if src in self._delack_armed:
+            return False
+        self._delack_armed.add(src)
+        return True
+
+    def flush_ack(self, src: int, pace, now: SimTime) -> Optional[Packet]:
+        """Delayed-ack timer fired: acknowledge whatever is still pending."""
+        self._delack_armed.discard(src)
+        pending = self._ack_bytes.get(src, 0)
+        if pending == 0:
+            return None
+        return self._emit_ack(src, pending, pace, now)
+
+    def total_outstanding(self) -> int:
+        """Unacknowledged bytes across all flows (visibility for tests)."""
+        return sum(flow.outstanding for flow in self._flows.values())
+
+    def queued_frames(self) -> int:
+        """Window-blocked frames across all flows."""
+        return sum(len(flow.queued) for flow in self._flows.values())

@@ -1,0 +1,134 @@
+"""NAMD — parallel molecular dynamics (apoa1-style traffic).
+
+NAMD decomposes space into patches and objects into compute tasks; every
+time step, patches multicast atom positions to the compute objects that
+need them, forces flow back, and an energy reduction closes the step.  The
+consequence the paper cares about (Figure 9(c)): "there is no visible
+interval where the application is not exchanging data over the network" —
+traffic is dense and continuously overlapped with compute, which caps the
+achievable speedup because the adaptive quantum never gets a silent stretch
+to grow in.
+
+We reproduce that shape: each rank interleaves position sends, force
+receives, and compute slices so packets are in flight throughout the step,
+then ends the step with a small energy ``allreduce``.  The application
+metric is NAMD's own: wall-clock time for the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.cluster import RunResult
+from repro.engine.units import SECOND
+from repro.mpi.api import MpiRank
+from repro.node.requests import Compute, Request
+from repro.workloads.base import Workload
+
+
+class NamdWorkload(Workload):
+    """Dense, continuously-communicating molecular-dynamics steps."""
+
+    name = "NAMD"
+    metric_name = "wall-clock s"
+    metric_kind = "time"
+
+    def __init__(
+        self,
+        timesteps: int = 12,
+        step_ops: float = 1.2e9,
+        position_bytes: int = 8_192,
+        force_bytes: int = 4_096,
+        max_partners: int = 7,
+        energy_bytes: int = 64,
+        pme_every: int = 2,
+        pme_bytes: int = 2_048,
+    ) -> None:
+        """Args:
+        timesteps: MD integration steps.
+        step_ops: force-evaluation work of the whole molecule per step
+            (split across ranks; NAMD strong-scales a fixed system, so
+            per-rank compute slices thin out as the cluster grows and the
+            traffic density rises — the paper's 64-node speed worst case).
+        position_bytes: per-partner position multicast payload.
+        force_bytes: per-partner force return payload.
+        max_partners: neighbour-list fan-out per rank (capped by size-1).
+        energy_bytes: payload of the per-step energy reduction.
+        pme_every: run the PME long-range electrostatics phase (an
+            FFT-transpose all-to-all, apoa1's default full-electrostatics
+            cadence) every this many steps; 0 disables PME.
+        pme_bytes: per-pair payload of each PME transpose message.
+        """
+        if timesteps < 1:
+            raise ValueError("timesteps must be positive")
+        if max_partners < 1:
+            raise ValueError("max_partners must be positive")
+        if pme_every < 0:
+            raise ValueError("pme_every must be non-negative")
+        self.timesteps = timesteps
+        self.step_ops = step_ops
+        self.position_bytes = position_bytes
+        self.force_bytes = force_bytes
+        self.max_partners = max_partners
+        self.energy_bytes = energy_bytes
+        self.pme_every = pme_every
+        self.pme_bytes = pme_bytes
+
+    def metric(self, result: RunResult) -> float:
+        """NAMD reports wall-clock time (here: simulated seconds)."""
+        return result.makespan / SECOND
+
+    def _partners(self, rank: int, size: int) -> list[int]:
+        """Spatial neighbour list: symmetric ring offsets around the rank.
+
+        The list must be an involution across ranks (if B is A's neighbour,
+        A is B's), or the position exchange deadlocks; so partners come in
+        ±offset pairs, with the antipode added when the requested fan-out is
+        odd and the ring length is even.
+        """
+        count = min(self.max_partners, size - 1)
+        if count == size - 1:
+            return [peer for peer in range(size) if peer != rank]
+        partners = []
+        for offset in range(1, count // 2 + 1):
+            partners.append((rank + offset) % size)
+            partners.append((rank - offset) % size)
+        if count % 2 == 1 and size % 2 == 0:
+            antipode = (rank + size // 2) % size
+            if antipode not in partners:
+                partners.append(antipode)
+        return partners
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        rank, size = mpi.rank, mpi.size
+        partners = self._partners(rank, size)
+        # Compute is sliced so packets and work interleave continuously.
+        slices = 2 * len(partners)
+        slice_ops = self.step_ops / size / slices
+        energy = float(rank)
+        yield from mpi.barrier()
+        for step in range(self.timesteps):
+            position_tag = 400
+            force_tag = 401
+            # Multicast positions, interleaving force-field work.
+            for partner in partners:
+                yield from mpi.send(partner, self.position_bytes, tag=position_tag)
+                yield Compute(ops=slice_ops)
+            # Consume partner positions as they arrive, computing pairwise
+            # forces after each; then return the force contributions.
+            for partner in partners:
+                yield from mpi.recv(src=partner, tag=position_tag)
+                yield Compute(ops=slice_ops)
+                yield from mpi.send(partner, self.force_bytes, tag=force_tag)
+            for partner in partners:
+                yield from mpi.recv(src=partner, tag=force_tag)
+            # PME long-range electrostatics: the 3-D FFT grid transpose is
+            # an all-to-all over the whole machine.
+            if self.pme_every and (step + 1) % self.pme_every == 0:
+                yield from mpi.alltoall(self.pme_bytes)
+            # Step-closing energy reduction (keeps ranks loosely in step,
+            # like NAMD's periodic reductions).
+            energy = yield from mpi.allreduce(
+                self.energy_bytes, energy, lambda a, b: a + b
+            )
+        return {"energy": energy, "steps": self.timesteps}

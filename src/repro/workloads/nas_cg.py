@@ -1,0 +1,94 @@
+"""NAS CG — Conjugate Gradient.
+
+"Computes an approximation to the smallest eigenvalue of a large, sparse,
+symmetric positive definite matrix.  Exhibits irregular long distance
+communication."  Each CG iteration performs a distributed sparse
+matrix-vector product — partial-vector exchanges with *transpose partners*
+(ranks at power-of-two distances, the long-distance irregular pattern of
+the real kernel's row/column communicators) — followed by two dot-product
+``allreduce`` operations that globally couple every iteration.
+
+The per-iteration global reductions give CG a steady heartbeat of small
+latency-critical messages on top of the bulkier matvec exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mpi.api import MpiRank
+from repro.node.requests import Compute, Request
+from repro.workloads.base import NasWorkload
+
+
+class CgWorkload(NasWorkload):
+    """Distributed CG iterations: matvec exchanges + dot-product reductions."""
+
+    name = "CG"
+
+    def __init__(
+        self,
+        iterations: int = 15,
+        nonzeros: float = 9.6e7,
+        ops_per_nonzero: float = 4.0,
+        vector_bytes: int = 320_000,
+        dot_bytes: int = 8,
+    ) -> None:
+        """Args:
+        iterations: CG iterations (NAS class A runs 15).
+        nonzeros: matrix nonzeros; matvec work is proportional.
+        ops_per_nonzero: multiply-add + index cost per nonzero.
+        vector_bytes: total bytes of partial vectors exchanged per matvec
+            (split across the partner sweep and ranks).
+        dot_bytes: payload of each dot-product reduction.
+        """
+        super().__init__(reference_ops=nonzeros * ops_per_nonzero * iterations)
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        self.iterations = iterations
+        self.nonzeros = nonzeros
+        self.ops_per_nonzero = ops_per_nonzero
+        self.vector_bytes = vector_bytes
+        self.dot_bytes = dot_bytes
+
+    @staticmethod
+    def _partners(rank: int, size: int) -> list[tuple[int, int]]:
+        """Transpose partners: XOR pairing at power-of-two strides.
+
+        XOR pairing is an involution (A's partner's partner is A), so the
+        send/recv pattern is symmetric and deadlock-free for any size; ranks
+        whose partner falls outside the communicator sit that stride out.
+        Returns ``(stride_exponent, partner)`` pairs — message tags must be
+        derived from the stride, not the list position, so both sides of an
+        exchange agree even when one of them skipped earlier strides.
+        """
+        partners = []
+        exponent = 0
+        while (1 << exponent) < size:
+            partner = rank ^ (1 << exponent)
+            if partner < size:
+                partners.append((exponent, partner))
+            exponent += 1
+        return partners
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        size, rank = mpi.size, mpi.rank
+        partners = self._partners(rank, size)
+        exchange_bytes = max(64, self.vector_bytes // max(1, len(partners)) // size)
+        matvec_ops = self.nonzeros * self.ops_per_nonzero / size
+        residual = 1.0
+        yield from mpi.barrier()
+        for iteration in range(self.iterations):
+            # Distributed matvec: exchange partial vectors with transpose
+            # partners, interleaved with the local multiply work.
+            per_partner_ops = matvec_ops / max(1, len(partners))
+            for exponent, partner in partners:
+                tag = 100 + exponent
+                yield from mpi.send(partner, exchange_bytes, tag=tag)
+                yield from mpi.recv(src=partner, tag=tag)
+                yield Compute(ops=per_partner_ops)
+            # Two global dot products per iteration (rho and alpha).
+            rho = yield from mpi.allreduce(self.dot_bytes, residual, lambda a, b: a + b)
+            residual = rho / (iteration + 1.0)
+            yield from mpi.allreduce(self.dot_bytes, residual, lambda a, b: a + b)
+        return {"residual": residual}

@@ -1,0 +1,75 @@
+"""NAS IS — Integer Sort.
+
+"Performs a sorting operation used frequently in particle-method codes.
+Requires moderate data communication and significant synchronization."
+Each iteration histograms the local keys, combines bucket counts with an
+``allreduce``, and redistributes the keys with a bulk ``alltoall`` — the
+``MPI_Alltoall`` whose "long chains of packet dependences" make IS the
+paper's accuracy worst case (Section 6: simulated execution dilated 150x at
+a 100 us quantum).
+
+The all-to-all chain is the point: every pairwise-exchange step blocks on a
+message from a different peer, so each straggler-delayed delivery pushes the
+whole remaining chain — there is no slack to absorb it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mpi.api import MpiRank
+from repro.node.requests import Compute, Request
+from repro.workloads.base import NasWorkload
+
+
+class IsWorkload(NasWorkload):
+    """Iterated bucket sort with all-to-all key redistribution."""
+
+    name = "IS"
+
+    def __init__(
+        self,
+        total_keys: int = 2**21,
+        iterations: int = 10,
+        ops_per_key: float = 128.0,
+        key_bytes: int = 4,
+        histogram_bytes: int = 1024,
+    ) -> None:
+        """Args:
+        total_keys: keys sorted per iteration (split across ranks).
+        iterations: full sort repetitions (NAS IS runs 10).
+        ops_per_key: counting + ranking cost per key per iteration.
+        key_bytes: bytes per key on the wire.
+        histogram_bytes: size of the bucket-count reduction payload.
+        """
+        super().__init__(reference_ops=float(total_keys) * iterations)
+        if total_keys < 1 or iterations < 1:
+            raise ValueError("total_keys and iterations must be positive")
+        self.total_keys = total_keys
+        self.iterations = iterations
+        self.ops_per_key = ops_per_key
+        self.key_bytes = key_bytes
+        self.histogram_bytes = histogram_bytes
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        size = mpi.size
+        rank_keys = self.total_keys // size
+        # Each rank ships roughly keys/size to every other rank.
+        exchange_bytes = max(1, rank_keys // size) * self.key_bytes
+        yield from mpi.barrier()
+        checksum = 0.0
+        for _ in range(self.iterations):
+            # Local bucket counting.
+            yield Compute(ops=rank_keys * self.ops_per_key * 0.5)
+            # Global bucket histogram.
+            counts = yield from mpi.allreduce(
+                self.histogram_bytes, float(rank_keys), lambda a, b: a + b
+            )
+            checksum += counts
+            # Bulk key redistribution: the fully-coupled exchange chain.
+            yield from mpi.alltoall(exchange_bytes)
+            # Local ranking of the received keys.
+            yield Compute(ops=rank_keys * self.ops_per_key * 0.5)
+        # Full verification (partial sums exchanged once at the end).
+        total = yield from mpi.allreduce(64, checksum, lambda a, b: a + b)
+        return {"rank_keys": rank_keys, "checksum": total}

@@ -1,0 +1,82 @@
+"""NAS LU — Lower-Upper symmetric Gauss-Seidel (SSOR).
+
+"A regular-sparse block (5x5) lower and upper triangular system solution.
+Exhibits a limited amount of parallelism and is a good indicator of network
+latency."  The defining pattern is the *wavefront pipeline*: during the
+lower-triangular sweep each rank must receive a boundary plane from its
+predecessor before smoothing the corresponding slab of its own sub-domain
+and forwarding the plane to its successor; the upper sweep runs the
+pipeline in reverse.  The real kernel pipelines one message per k-plane
+(``planes`` here), so a single sweep puts ``planes * (N-1)`` small,
+strictly-ordered messages on the wire — long dependency chains of
+latency-critical traffic, which is why every straggler delay lands on the
+critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mpi.api import MpiRank
+from repro.node.requests import Compute, Request
+from repro.workloads.base import NasWorkload
+
+
+class LuWorkload(NasWorkload):
+    """SSOR time steps with forward/backward pipelined wavefront sweeps."""
+
+    name = "LU"
+
+    def __init__(
+        self,
+        timesteps: int = 25,
+        sweep_ops: float = 6.4e8,
+        planes: int = 8,
+        plane_bytes: int = 2_000,
+        residual_every: int = 5,
+    ) -> None:
+        """Args:
+        timesteps: SSOR iterations (NAS LU class A runs 250; scaled down).
+        sweep_ops: smoother work of one sweep over the whole domain
+            (split across ranks; LU strong-scales a fixed grid).
+        planes: k-planes pipelined per sweep (one boundary message each).
+        plane_bytes: boundary-plane message size (small 5x5 block faces).
+        residual_every: compute the global residual every this many steps.
+        """
+        # Two sweeps (lower + upper) per step.
+        super().__init__(reference_ops=2.0 * timesteps * sweep_ops)
+        if timesteps < 1:
+            raise ValueError("timesteps must be positive")
+        if planes < 1:
+            raise ValueError("planes must be positive")
+        if residual_every < 1:
+            raise ValueError("residual_every must be positive")
+        self.timesteps = timesteps
+        self.sweep_ops = sweep_ops
+        self.planes = planes
+        self.plane_bytes = plane_bytes
+        self.residual_every = residual_every
+
+    def _sweep(
+        self, mpi: MpiRank, forward: bool, tag: int
+    ) -> Generator[Request, Any, None]:
+        rank, size = mpi.rank, mpi.size
+        predecessor = rank - 1 if forward else rank + 1
+        successor = rank + 1 if forward else rank - 1
+        slab_ops = self.sweep_ops / size / self.planes
+        for _ in range(self.planes):
+            if 0 <= predecessor < size:
+                yield from mpi.recv(src=predecessor, tag=tag)
+            yield Compute(ops=slab_ops)
+            if 0 <= successor < size:
+                yield from mpi.send(successor, self.plane_bytes, tag=tag)
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        yield from mpi.barrier()
+        residual = float(mpi.rank + 1)
+        for step in range(self.timesteps):
+            yield from self._sweep(mpi, forward=True, tag=300)
+            yield from self._sweep(mpi, forward=False, tag=301)
+            if (step + 1) % self.residual_every == 0:
+                residual = yield from mpi.allreduce(40, residual, max)
+        return {"residual": residual}

@@ -1,0 +1,95 @@
+"""NAS MG — Multigrid.
+
+"Simplified multigrid kernel solving a 3-D Poisson PDE.  Exhibits both
+short and long distance highly structured communication patterns."  Each
+V-cycle walks down the grid hierarchy and back: at fine levels ranks
+exchange *large* halos with *near* neighbours; at coarse levels the grid is
+distributed across fewer effective ranks, so the halos are *small* but
+travel *long* logical distances (large rank strides) — the short+long
+mixture the NAS documentation describes.
+
+Halo exchanges use XOR pairing per level (symmetric, deadlock-free), with
+message size shrinking and partner stride growing as the cycle coarsens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mpi.api import MpiRank
+from repro.node.requests import Compute, Request
+from repro.workloads.base import NasWorkload
+
+
+class MgWorkload(NasWorkload):
+    """V-cycle multigrid with level-dependent halo exchanges."""
+
+    name = "MG"
+
+    def __init__(
+        self,
+        cycles: int = 4,
+        levels: int = 5,
+        fine_points: float = 4.8e7,
+        ops_per_point: float = 8.0,
+        fine_halo_bytes: int = 65_536,
+        min_halo_bytes: int = 256,
+    ) -> None:
+        """Args:
+        cycles: V-cycles (NAS MG class A runs 4 full cycles).
+        levels: grid levels per cycle.
+        fine_points: grid points at the finest level (work scales /8 per
+            level, the 3-D coarsening ratio).
+        ops_per_point: smoother cost per point per visit.
+        fine_halo_bytes: halo size at the finest level (shrinks /4 per
+            level, the 2-D face coarsening ratio).
+        min_halo_bytes: floor for coarse-level halo messages.
+        """
+        total_points = sum(fine_points / 8**level for level in range(levels))
+        # Down-sweep + up-sweep visit every level twice per cycle.
+        super().__init__(reference_ops=2 * cycles * total_points * ops_per_point)
+        if cycles < 1 or levels < 1:
+            raise ValueError("cycles and levels must be positive")
+        self.cycles = cycles
+        self.levels = levels
+        self.fine_points = fine_points
+        self.ops_per_point = ops_per_point
+        self.fine_halo_bytes = fine_halo_bytes
+        self.min_halo_bytes = min_halo_bytes
+
+    def _level_partner(self, rank: int, size: int, level: int) -> int | None:
+        """Halo partner at *level*: stride doubles as the grid coarsens."""
+        stride = 1 << level
+        if stride >= size:
+            stride = size >> 1
+        if stride == 0:
+            return None
+        partner = rank ^ stride
+        return partner if partner < size else None
+
+    def _level_visit(
+        self, mpi: MpiRank, level: int
+    ) -> Generator[Request, Any, None]:
+        size = mpi.size
+        halo = max(self.min_halo_bytes, self.fine_halo_bytes // 4**level)
+        points = self.fine_points / 8**level / size
+        partner = self._level_partner(mpi.rank, size, level)
+        if partner is not None:
+            tag = 200 + level
+            yield from mpi.send(partner, halo, tag=tag)
+            yield from mpi.recv(src=partner, tag=tag)
+        yield Compute(ops=max(1.0, points * self.ops_per_point))
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        yield from mpi.barrier()
+        for _ in range(self.cycles):
+            # Down-sweep: restrict fine -> coarse.
+            for level in range(self.levels):
+                yield from self._level_visit(mpi, level)
+            # Coarsest-level solve couples everyone.
+            yield from mpi.allreduce(64, 1.0, lambda a, b: a + b)
+            # Up-sweep: prolongate coarse -> fine.
+            for level in reversed(range(self.levels)):
+                yield from self._level_visit(mpi, level)
+        norm = yield from mpi.allreduce(8, float(mpi.rank), lambda a, b: a + b)
+        return {"norm": norm}

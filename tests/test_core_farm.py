@@ -1,0 +1,75 @@
+"""Tests for the simulation-farm layout and hierarchical barrier."""
+
+import pytest
+
+from repro.core import ClusterConfig, ClusterSimulator, FarmBarrierModel, FarmLayout
+from repro.core.quantum import FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import SimulatedNode
+from repro.workloads import PingPongWorkload
+
+US = MICROSECOND
+
+
+class TestFarmLayout:
+    def test_host_mapping(self):
+        layout = FarmLayout(simulators_per_host=4)
+        assert layout.host_of(0) == 0
+        assert layout.host_of(3) == 0
+        assert layout.host_of(4) == 1
+        assert layout.hosts_for(64) == 16
+        assert layout.hosts_for(5) == 2
+
+    def test_co_location(self):
+        layout = FarmLayout(simulators_per_host=4)
+        assert layout.co_located(0, 3)
+        assert not layout.co_located(3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FarmLayout(simulators_per_host=0)
+        with pytest.raises(ValueError):
+            FarmLayout().hosts_for(0)
+
+
+class TestFarmBarrierModel:
+    def test_single_host_is_cheap(self):
+        section5 = FarmBarrierModel.paper_section5()
+        assert section5.layout.hosts_for(8) == 1
+        # One farm round trip + 8 shared-memory syncs.
+        assert section5.overhead(8) == pytest.approx(0.6e-3 + 8 * 20e-6 + 0.4e-3)
+
+    def test_scale_out_pays_per_host(self):
+        section6 = FarmBarrierModel.paper_section6()
+        assert section6.layout.hosts_for(64) == 16
+        assert section6.overhead(64) == pytest.approx(
+            0.6e-3 + 64 * 20e-6 + 16 * 0.4e-3
+        )
+
+    def test_farm_grows_faster_than_single_host(self):
+        one_host = FarmBarrierModel(layout=FarmLayout(simulators_per_host=64))
+        farm = FarmBarrierModel(layout=FarmLayout(simulators_per_host=4))
+        assert farm.overhead(64) > one_host.overhead(64)
+        assert farm.overhead(4) == one_host.overhead(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FarmBarrierModel(base=-1)
+        with pytest.raises(ValueError):
+            FarmBarrierModel(intra_per_sim=-1)
+        with pytest.raises(ValueError):
+            FarmBarrierModel().overhead(0)
+
+    def test_drop_in_for_cluster_config(self):
+        workload = PingPongWorkload(rounds=3)
+        nodes = [
+            SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(2))
+        ]
+        controller = NetworkController(2, PAPER_NETWORK(2))
+        config = ClusterConfig(seed=1, barrier=FarmBarrierModel.paper_section5())
+        result = ClusterSimulator(
+            nodes, controller, FixedQuantumPolicy(US), config
+        ).run()
+        assert result.completed
+        assert result.breakdown.barrier > 0

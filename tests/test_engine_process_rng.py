@@ -1,0 +1,212 @@
+"""Tests for coroutine processes, RNG streams, units, and the sequential loop."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import Process, ProcessExit, RngStreams, Simulator
+from repro.engine.process import ProcessError
+from repro.engine import units
+
+
+class TestProcess:
+    def test_step_yields_requests_in_order(self):
+        def body():
+            yield "a"
+            got = yield "b"
+            assert got == 42
+            return "done"
+
+        process = Process(body(), name="t")
+        assert process.step() == "a"
+        assert process.step() == "b"
+        with pytest.raises(ProcessExit) as exc_info:
+            process.step(42)
+        assert exc_info.value.result == "done"
+        assert process.finished
+        assert process.result == "done"
+
+    def test_first_step_must_send_none(self):
+        def body():
+            yield 1
+
+        process = Process(body())
+        with pytest.raises(ProcessError):
+            process.step("oops")
+
+    def test_step_after_finish_raises_processexit(self):
+        def body():
+            return 7
+            yield  # pragma: no cover
+
+        process = Process(body())
+        with pytest.raises(ProcessExit):
+            process.step()
+        with pytest.raises(ProcessExit):
+            process.step()
+
+    def test_exception_in_body_wrapped(self):
+        def body():
+            yield 1
+            raise RuntimeError("boom")
+
+        process = Process(body(), name="failing")
+        process.step()
+        with pytest.raises(ProcessError) as exc_info:
+            process.step(None)
+        assert "failing" in str(exc_info.value)
+        assert isinstance(exc_info.value.cause, RuntimeError)
+
+    def test_throw_injects_failure(self):
+        seen = []
+
+        def body():
+            try:
+                yield "waiting"
+            except ConnectionError:
+                seen.append("caught")
+                yield "recovered"
+
+        process = Process(body())
+        process.step()
+        assert process.throw(ConnectionError()) == "recovered"
+        assert seen == ["caught"]
+
+    def test_close_terminates(self):
+        def body():
+            yield 1
+            yield 2
+
+        process = Process(body())
+        process.step()
+        process.close()
+        assert process.finished
+
+
+class TestRngStreams:
+    def test_same_name_same_object(self):
+        streams = RngStreams(7)
+        assert streams.stream("node") is streams.stream("node")
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("a").random(8).tolist()
+        b = streams.stream("b").random(8).tolist()
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        first = RngStreams(123).stream("jitter").random(16).tolist()
+        second = RngStreams(123).stream("jitter").random(16).tolist()
+        assert first == second
+
+    def test_seed_changes_output(self):
+        first = RngStreams(1).stream("jitter").random(16).tolist()
+        second = RngStreams(2).stream("jitter").random(16).tolist()
+        assert first != second
+
+    def test_creation_order_does_not_matter(self):
+        forward = RngStreams(9)
+        forward.stream("x")
+        forward_y = forward.stream("y").random(4).tolist()
+        backward = RngStreams(9)
+        backward_y = backward.stream("y").random(4).tolist()
+        backward.stream("x")
+        assert forward_y == backward_y
+
+    def test_fresh_restarts_sequence(self):
+        streams = RngStreams(5)
+        original = streams.stream("s").random(4).tolist()
+        restarted = streams.fresh("s").random(4).tolist()
+        assert original == restarted
+
+    def test_spawn_indexed_streams_differ(self):
+        streams = RngStreams(5)
+        node0 = streams.spawn("node", 0).random(4).tolist()
+        node1 = streams.spawn("node", 1).random(4).tolist()
+        assert node0 != node1
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(-1)
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert units.microseconds(1) == 1000
+        assert units.milliseconds(1) == 1_000_000
+        assert units.seconds(1) == 1_000_000_000
+        assert units.nanoseconds(2.4) == 2
+
+    def test_round_trips(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+        assert units.to_microseconds(units.microseconds(7)) == pytest.approx(7.0)
+
+    def test_format_time(self):
+        assert units.format_time(999) == "999ns"
+        assert units.format_time(1500) == "1.500us"
+        assert units.format_time(units.milliseconds(2)) == "2.000ms"
+        assert units.format_time(units.seconds(3)) == "3.000s"
+        assert units.format_time(-1500) == "-1.500us"
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_property_microseconds_scale(self, value):
+        assert units.microseconds(value) == round(value * 1000)
+
+
+class TestSimulator:
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(20, lambda: log.append("b"))
+        sim.schedule_at(10, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.now == 20
+        assert sim.events_fired == 2
+
+    def test_schedule_after_uses_current_time(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule_after(5, chain)
+
+        sim.schedule_at(0, chain)
+        sim.run()
+        assert log == [0, 5, 10]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5)
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1)
+
+    def test_run_until_stops_clock_at_limit(self):
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        stopped = sim.run(until=50)
+        assert stopped == 50
+        assert len(sim.queue) == 1
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=30) == 30
+
+    def test_max_events(self):
+        sim = Simulator()
+        for time in range(10):
+            sim.schedule_at(time)
+        sim.run(max_events=4)
+        assert sim.events_fired == 4
+
+    def test_stop_from_inside_event(self):
+        sim = Simulator()
+        sim.schedule_at(1, sim.stop)
+        sim.schedule_at(2, lambda: None)
+        sim.run()
+        assert sim.now == 1
+        assert len(sim.queue) == 1

@@ -1,0 +1,236 @@
+"""Tests for the experiment harness: runner, figures, sweeps, reports, CLI.
+
+Everything runs on deliberately small workload instances — the point is to
+exercise the machinery (ground-truth caching, comparisons, aggregation,
+rendering), not to regenerate the paper numbers (the benchmarks do that).
+"""
+
+import pytest
+
+from repro.core.quantum import FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness import figures
+from repro.harness.configs import (
+    PAPER_SIZES,
+    PolicySpec,
+    ground_truth_policy,
+    nas_suite,
+    paper_policies,
+    scaleout_configs,
+)
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.report import format_table, microseconds, percent, times
+from repro.harness.sweep import sweep_inc_dec
+from repro.workloads import EpWorkload, PhaseWorkload
+
+US = MICROSECOND
+
+
+def small_suite():
+    from repro.workloads import CgWorkload, IsWorkload
+
+    return [
+        EpWorkload(total_ops=2e7, chunks=4),
+        IsWorkload(total_keys=2**15, iterations=2, ops_per_key=16),
+        CgWorkload(iterations=3, nonzeros=2e6, vector_bytes=32_768),
+    ]
+
+
+class TestConfigs:
+    def test_paper_policy_labels(self):
+        labels = [spec.label for spec in paper_policies()]
+        assert labels == ["10", "100", "1k", "dyn 1k 1.03:0.02", "dyn 1k 1.05:0.02"]
+
+    def test_ground_truth_is_1us_fixed(self):
+        policy = ground_truth_policy().build()
+        assert isinstance(policy, FixedQuantumPolicy)
+        assert policy.quantum == US
+
+    def test_policy_factories_make_fresh_objects(self):
+        spec = paper_policies()[0]
+        assert spec.build() is not spec.build()
+
+    def test_nas_suite_names(self):
+        assert [w.name for w in nas_suite()] == ["EP", "IS", "CG", "MG", "LU"]
+
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == (2, 4, 8)
+
+    def test_scaleout_configs(self):
+        configs = scaleout_configs()
+        assert [c.name for c in configs] == ["EP", "IS", "NAMD"]
+        assert all(c.size == 64 for c in configs)
+        assert all(c.paper_rows for c in configs)
+
+
+class TestExperimentRunner:
+    def test_ground_truth_cached(self):
+        runner = ExperimentRunner(seed=3)
+        workload = EpWorkload(total_ops=2e7)
+        first = runner.ground_truth(workload, 2)
+        second = runner.ground_truth(workload, 2)
+        assert first is second
+
+    def test_comparison_row_fields(self):
+        runner = ExperimentRunner(seed=3)
+        workload = EpWorkload(total_ops=2e7)
+        spec = PolicySpec("1k", lambda: FixedQuantumPolicy(1000 * US))
+        row = runner.run_and_compare(workload, 2, spec)
+        assert row.policy_label == "1k"
+        assert row.speedup > 1.0
+        assert row.accuracy_error >= 0.0
+        assert row.exec_time_ratio >= 1.0
+        assert "speedup" in row.describe()
+
+    def test_seeds_change_speed_not_truth_metric(self):
+        workload = EpWorkload(total_ops=2e7)
+        a = ExperimentRunner(seed=1).ground_truth(workload, 2)
+        b = ExperimentRunner(seed=2).ground_truth(workload, 2)
+        assert a.metric == b.metric
+        assert a.result.host_time != b.result.host_time
+
+    def test_run_matrix_covers_grid(self):
+        runner = ExperimentRunner(seed=3)
+        specs = paper_policies()[:2]
+        rows = runner.run_matrix(EpWorkload(total_ops=2e7), (2, 4), specs)
+        assert len(rows) == 4
+        assert {(r.size, r.policy_label) for r in rows} == {
+            (2, "10"),
+            (2, "100"),
+            (4, "10"),
+            (4, "100"),
+        }
+
+    def test_traffic_recording(self):
+        runner = ExperimentRunner(seed=3, record_traffic=True)
+        record = runner.ground_truth(EpWorkload(total_ops=2e7), 2)
+        assert record.trace is not None
+        assert record.trace.total_packets == record.result.controller_stats.packets_routed
+
+
+class TestFigures:
+    def test_nas_suite_matrix_small(self):
+        runner = ExperimentRunner(seed=3)
+        result = figures.run_nas_suite_matrix(
+            runner, (2,), specs=paper_policies()[:2], suite=small_suite()
+        )
+        assert len(result.cells) == 2
+        cell = result.cell("10", 2)
+        assert cell.accuracy_error < 0.2
+        assert cell.speedup > 2
+        assert len(cell.per_benchmark) == 3
+        text = result.render("test")
+        assert "accuracy error" in text and "speedup" in text
+
+    def test_suite_cell_lookup_error(self):
+        runner = ExperimentRunner(seed=3)
+        result = figures.run_nas_suite_matrix(
+            runner, (2,), specs=paper_policies()[:1], suite=[EpWorkload(total_ops=2e7)]
+        )
+        with pytest.raises(KeyError):
+            result.cell("nope", 2)
+
+    def test_figure8_front_contains_extremes(self):
+        runner = ExperimentRunner(seed=3)
+        nas = figures.run_nas_suite_matrix(
+            runner, (2,), specs=paper_policies()[:3], suite=[EpWorkload(total_ops=2e7)]
+        )
+        result = figures.figure8(runner, size=2, nas=nas, namd=nas)
+        assert result.front
+        rendered = result.render()
+        assert "pareto" in rendered.lower()
+
+    def test_section6_rows(self):
+        from repro.harness.configs import ScaleoutConfig
+        from repro.core.quantum import AdaptiveQuantumPolicy
+
+        config = ScaleoutConfig(
+            name="EP",
+            workload_factory=lambda: EpWorkload(total_ops=4e7),
+            size=4,
+            fixed_quanta=(100 * US,),
+            dyn_label="dyn 1:100",
+            dyn_factory=lambda: AdaptiveQuantumPolicy(US, 100 * US),
+            paper_rows={"100us": (72.7, "0.10%")},
+        )
+        runner = ExperimentRunner(seed=3)
+        result = figures.section6(runner, config)
+        assert [row.label for row in result.rows] == ["100us", "dyn 1:100"]
+        assert result.row("100us").speedup > result.row("dyn 1:100").speedup * 0.1
+        assert "Section 6" in result.render()
+
+    def test_figure9_produces_series_and_trace(self):
+        from repro.harness.configs import ScaleoutConfig
+        from repro.core.quantum import AdaptiveQuantumPolicy
+
+        config = ScaleoutConfig(
+            name="PHASES",
+            workload_factory=lambda: PhaseWorkload(phases=3, compute_ops=2e6),
+            size=4,
+            fixed_quanta=(),
+            dyn_label="dyn",
+            dyn_factory=lambda: AdaptiveQuantumPolicy(US, 100 * US),
+        )
+        result = figures.figure9(
+            lambda record_traffic, timeline_bucket: ExperimentRunner(
+                seed=3, record_traffic=record_traffic, timeline_bucket=timeline_bucket
+            ),
+            config,
+            bucket=100 * US,
+        )
+        assert result.trace.total_packets > 0
+        assert result.speedup_series
+        assert all(speedup > 0 for _, speedup in result.speedup_series)
+        assert "Figure 9" in result.render()
+
+
+class TestSweep:
+    def test_sweep_grid_and_bests(self):
+        runner = ExperimentRunner(seed=3)
+        workload = PhaseWorkload(phases=3, compute_ops=5e6)
+        result = sweep_inc_dec(
+            runner, workload, 2, incs=(1.03, 1.30), decs=(0.02, 0.90)
+        )
+        assert len(result.points) == 4
+        best_err = result.best_by_error()
+        best_speed = result.best_by_speedup()
+        assert best_err.row.accuracy_error <= best_speed.row.accuracy_error
+        assert "sweep" in result.render()
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("-")
+        assert lines[3].startswith("a ")
+        assert lines[4].startswith("long-name")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_helpers(self):
+        assert percent(0.1234) == "12.34%"
+        assert times(2.5) == "2.5x"
+        assert microseconds(1500) == "1.5us"
+
+
+class TestCli:
+    def test_cli_sweep_smoke(self, capsys):
+        from repro.harness import cli
+
+        # The sweep command on the smallest workload the CLI exposes would
+        # still be slow; instead exercise argument plumbing via fig8's
+        # machinery being invoked through a tiny monkeypatched matrix.
+        parser_exit = cli.main(["--seed", "3", "sweep", "--workload", "EP", "--size", "2"])
+        assert parser_exit == 0
+        out = capsys.readouterr().out
+        assert "inc/dec sweep" in out
+
+    def test_cli_unknown_case_rejected(self):
+        from repro.harness import cli
+
+        with pytest.raises(SystemExit):
+            cli._scaleout("XX")

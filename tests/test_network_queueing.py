@@ -1,0 +1,119 @@
+"""Tests for the output-queued switch model."""
+
+import pytest
+
+from repro.core import ClusterConfig, ClusterSimulator, FixedQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.network import NetworkController, Packet, StarTopology
+from repro.network.queueing import OutputQueuedSwitchModel
+from repro.node import SimulatedNode
+from repro.node.requests import Recv, Send
+
+US = MICROSECOND
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        topology=StarTopology(4),
+        bandwidth_bits_per_sec=10e9,
+        nic_min_latency=1000,
+        port_bits_per_sec=10e9,
+    )
+    defaults.update(kwargs)
+    return OutputQueuedSwitchModel(**defaults)
+
+
+def packet(src, dst, size=9000, at=0):
+    return Packet(src=src, dst=dst, size_bytes=size, send_time=at)
+
+
+class TestPortQueueing:
+    def test_uncontended_latency_components(self):
+        model = make_model()
+        # 9000B at 10 Gbit/s: 7200ns wire + 7200ns port drain + 1000ns NIC.
+        assert model.latency(packet(0, 1), 1) == 1000 + 7200 + 7200
+        assert model.contended_packets == 0
+
+    def test_incast_queues_behind_each_other(self):
+        model = make_model()
+        first = model.latency(packet(0, 3), 3)
+        second = model.latency(packet(1, 3), 3)
+        # Same due wire arrival; the second drains only after the first.
+        assert second == first + 7200
+        assert model.contended_packets == 1
+        assert model.total_queueing == 7200
+
+    def test_different_ports_do_not_contend(self):
+        model = make_model()
+        a = model.latency(packet(0, 2), 2)
+        b = model.latency(packet(1, 3), 3)
+        assert a == b
+        assert model.contended_packets == 0
+
+    def test_port_frees_over_time(self):
+        model = make_model()
+        model.latency(packet(0, 1, at=0), 1)
+        late = model.latency(packet(2, 1, at=1_000_000), 1)
+        assert late == 1000 + 7200 + 7200  # no residual queueing
+        assert model.contended_packets == 0
+
+    def test_slow_port_increases_drain(self):
+        slow = make_model(port_bits_per_sec=1e9)
+        assert slow.latency(packet(0, 1), 1) == 1000 + 7200 + 72_000
+
+    def test_min_latency_includes_port(self):
+        model = make_model()
+        # 66B header-only: 53ns wire + 53ns port + 1000ns NIC.
+        assert model.min_latency() == 1000 + 53 + 53
+
+    def test_reset_clears_state(self):
+        model = make_model()
+        model.latency(packet(0, 1), 1)
+        model.latency(packet(2, 1), 1)
+        model.reset()
+        assert model.contended_packets == 0
+        assert model.latency(packet(0, 1), 1) == 1000 + 7200 + 7200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_model(bandwidth_bits_per_sec=0)
+        with pytest.raises(ValueError):
+            make_model(port_bits_per_sec=-1)
+        with pytest.raises(ValueError):
+            make_model(nic_min_latency=0)
+
+
+class TestClusterIntegration:
+    def run_incast(self, latency_model, size=4, seed=5):
+        def program(mpi):
+            # Everyone floods rank 0 simultaneously; rank 0 collects.
+            if mpi.rank == 0:
+                for _ in range(mpi.size - 1):
+                    yield Recv()
+            else:
+                yield Send(dst=0, nbytes=50_000)
+
+        from repro.mpi import spmd_apps
+
+        apps = spmd_apps(size, program)
+        nodes = [SimulatedNode(i, app) for i, app in enumerate(apps)]
+        controller = NetworkController(size, latency_model)
+        sim = ClusterSimulator(
+            nodes, controller, FixedQuantumPolicy(US), ClusterConfig(seed=seed)
+        )
+        return sim.run()
+
+    def test_incast_contention_dilates_completion(self):
+        from repro.network import NicSwitchLatencyModel
+
+        perfect = self.run_incast(NicSwitchLatencyModel(StarTopology(4)))
+        model = make_model()
+        contended = self.run_incast(model)
+        assert contended.completed
+        assert model.contended_packets > 0
+        assert contended.makespan > perfect.makespan
+
+    def test_ground_truth_still_has_zero_stragglers(self):
+        model = make_model()
+        result = self.run_incast(model)
+        assert result.controller_stats.stragglers == 0

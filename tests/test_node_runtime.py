@@ -1,0 +1,195 @@
+"""Tests for the SimulatedNode runtime: app stepping, sends, recvs, blocking."""
+
+import pytest
+
+from repro.node import (
+    ANY_SOURCE,
+    Compute,
+    ComputeTime,
+    NicModel,
+    Recv,
+    Send,
+    SimulatedNode,
+    Sleep,
+)
+from repro.node.hostmodel import BUSY, IDLE
+from repro.node.node import NodeCosts
+
+
+def drain(node, limit=1000):
+    """Process local events until the node quiesces."""
+    for _ in range(limit):
+        if node.peek_time() is None:
+            return
+        node.pop_and_handle()
+    raise AssertionError("node did not quiesce")
+
+
+def make_node(app, node_id=0, emit_sink=None):
+    node = SimulatedNode(node_id, app)
+    if emit_sink is not None:
+        node.emit_hook = lambda _node, packet: emit_sink.append(packet)
+    node.start()
+    return node
+
+
+class TestComputeAndSleep:
+    def test_compute_schedules_wake_at_cpu_time(self):
+        def app():
+            yield Compute(ops=2.6e9)  # one simulated second
+
+        node = make_node(app())
+        node.pop_and_handle()  # initial step -> Compute
+        assert node.activity == BUSY
+        assert node.peek_time() == 1_000_000_000
+        node.pop_and_handle()
+        assert node.finished
+        assert node.app_finish_time == 1_000_000_000
+
+    def test_compute_time_direct_duration(self):
+        def app():
+            yield ComputeTime(12345)
+
+        node = make_node(app())
+        node.pop_and_handle()
+        assert node.peek_time() == 12345
+
+    def test_sleep_marks_idle(self):
+        def app():
+            yield Sleep(500)
+            yield ComputeTime(1)
+
+        node = make_node(app())
+        node.pop_and_handle()
+        assert node.activity == IDLE
+        node.pop_and_handle()
+        assert node.activity == BUSY
+
+    def test_finished_node_is_idle(self):
+        def app():
+            return
+            yield  # pragma: no cover
+
+        node = make_node(app())
+        node.pop_and_handle()
+        assert node.finished
+        assert node.activity == IDLE
+        assert node.peek_time() is None
+        assert node.app_result is None
+
+
+class TestSend:
+    def test_send_emits_frames_through_hook(self):
+        emitted = []
+
+        def app():
+            yield Send(dst=1, nbytes=20_000, tag=4)
+
+        node = make_node(app(), emit_sink=emitted)
+        drain(node)
+        assert len(emitted) == 3
+        assert all(packet.dst == 1 for packet in emitted)
+        assert node.stats.messages_sent == 1
+        assert node.finished
+
+    def test_send_cpu_cost_advances_app(self):
+        def app():
+            yield Send(dst=1, nbytes=1000)
+
+        costs = NodeCosts(send_base=2_000, send_per_byte=1.0)
+        node = SimulatedNode(0, app(), costs=costs)
+        node.emit_hook = lambda n, p: None
+        node.start()
+        drain(node)
+        assert node.app_finish_time == 3_000
+
+    def test_emit_without_hook_raises(self):
+        def app():
+            yield Send(dst=1, nbytes=10)
+
+        node = SimulatedNode(0, app())
+        node.start()
+        node.pop_and_handle()  # app step queues emit event
+        with pytest.raises(RuntimeError):
+            drain(node)
+
+
+class TestRecv:
+    def deliver_message(self, node, src=1, tag=0, nbytes=16, at=5_000):
+        """Build a frame from a peer NIC and deliver it at *at*."""
+        peer = NicModel(src)
+        frame = peer.build_frames(dst=node.node_id, nbytes=nbytes, tag=tag, payload="v", now=0)[0]
+        frame.due_time = at
+        frame.deliver_time = at
+        node.deliver(frame, at)
+
+    def test_recv_blocks_until_delivery(self):
+        results = []
+
+        def app():
+            message = yield Recv(src=ANY_SOURCE)
+            results.append(message)
+
+        node = make_node(app())
+        node.pop_and_handle()  # app blocks
+        assert node.blocked
+        assert node.activity == IDLE
+        assert node.peek_time() is None
+        self.deliver_message(node, at=7_000)
+        drain(node)
+        assert not node.blocked
+        assert results[0].payload == "v"
+        assert node.stats.blocked_time == 7_000
+        assert node.app_finish_time == 7_000 + node.costs.recv_cost(16)
+
+    def test_recv_finds_already_arrived_message(self):
+        def app():
+            yield ComputeTime(10_000)
+            message = yield Recv()
+            assert message.tag == 2
+
+        node = make_node(app())
+        node.pop_and_handle()  # start compute
+        self.deliver_message(node, tag=2, at=5_000)
+        drain(node)
+        assert node.finished
+        assert node.stats.blocked_time == 0
+
+    def test_recv_filter_ignores_non_matching(self):
+        def app():
+            message = yield Recv(src=3)
+            return message.src
+
+        node = make_node(app())
+        node.pop_and_handle()
+        self.deliver_message(node, src=1, at=1_000)
+        drain(node)
+        assert node.blocked  # message from 1 does not satisfy Recv(src=3)
+        self.deliver_message(node, src=3, at=2_000)
+        drain(node)
+        assert node.app_result == 3
+
+    def test_straggler_stats_counted(self):
+        def app():
+            yield Recv()
+
+        node = make_node(app())
+        node.pop_and_handle()
+        peer = NicModel(1)
+        frame = peer.build_frames(dst=0, nbytes=8, tag=0, payload=None, now=0)[0]
+        frame.due_time = 1_000
+        frame.deliver_time = 4_000  # straggler: 3us late
+        node.deliver(frame, 4_000)
+        drain(node)
+        assert node.stats.straggler_messages == 1
+        assert node.stats.straggler_delay == 3_000
+
+
+class TestErrors:
+    def test_unknown_request_type_rejected(self):
+        def app():
+            yield "not a request"
+
+        node = make_node(app())
+        with pytest.raises(TypeError):
+            node.pop_and_handle()

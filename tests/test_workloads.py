@@ -1,0 +1,187 @@
+"""Tests for the workload models: structure, metrics, completion, scaling."""
+
+import pytest
+
+from repro.core import ClusterConfig, ClusterSimulator, FixedQuantumPolicy
+from repro.engine.units import MICROSECOND, SECOND
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import SimulatedNode
+from repro.workloads import (
+    CgWorkload,
+    EpWorkload,
+    IsWorkload,
+    LuWorkload,
+    MgWorkload,
+    NamdWorkload,
+    PhaseWorkload,
+    PingPongWorkload,
+    harmonic_mean,
+)
+
+# Small instances so the whole file stays fast; structure is identical to
+# the defaults, only the op/byte budgets shrink.
+SMALL = {
+    "EP": lambda: EpWorkload(total_ops=2e7, chunks=4),
+    "IS": lambda: IsWorkload(total_keys=2**16, iterations=3, ops_per_key=16),
+    "CG": lambda: CgWorkload(iterations=4, nonzeros=2e6, vector_bytes=65_536),
+    "MG": lambda: MgWorkload(cycles=2, levels=3, fine_points=1e6),
+    "LU": lambda: LuWorkload(timesteps=4, sweep_ops=8e6, planes=3, residual_every=2),
+    "NAMD": lambda: NamdWorkload(timesteps=3, step_ops=2e7, max_partners=3),
+}
+
+
+def run_ground_truth(workload, size, seed=5):
+    nodes = [SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(size))]
+    controller = NetworkController(size, PAPER_NETWORK(size))
+    sim = ClusterSimulator(
+        nodes, controller, FixedQuantumPolicy(MICROSECOND), ClusterConfig(seed=seed)
+    )
+    return sim.run()
+
+
+class TestHarmonicMean:
+    def test_basic(self):
+        assert harmonic_mean([1, 1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 2]) == pytest.approx(2.0)
+        assert harmonic_mean([1, 3]) == pytest.approx(1.5)
+
+    def test_dominated_by_smallest(self):
+        assert harmonic_mean([0.1, 100, 100]) < 0.31
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+@pytest.mark.parametrize("size", [2, 4])
+class TestAllWorkloadsComplete:
+    def test_ground_truth_completes_cleanly(self, name, size):
+        workload = SMALL[name]()
+        result = run_ground_truth(workload, size)
+        assert result.completed
+        assert result.controller_stats.stragglers == 0
+        assert all(t is not None for t in result.app_finish_times)
+        metric = workload.metric(result)
+        assert metric > 0
+
+
+class TestWorkloadSemantics:
+    def test_ep_allreduce_totals(self):
+        workload = SMALL["EP"]()
+        result = run_ground_truth(workload, 4)
+        for rank_result in result.app_results:
+            assert rank_result["total_pairs"] == pytest.approx(workload.total_ops)
+
+    def test_is_checksum_consistent_across_ranks(self):
+        result = run_ground_truth(SMALL["IS"](), 4)
+        checksums = {r["checksum"] for r in result.app_results}
+        assert len(checksums) == 1
+
+    def test_mg_norm_agrees(self):
+        result = run_ground_truth(SMALL["MG"](), 4)
+        norms = {r["norm"] for r in result.app_results}
+        assert norms == {0.0 + 1 + 2 + 3}
+
+    def test_lu_residual_is_global_max(self):
+        result = run_ground_truth(SMALL["LU"](), 4)
+        assert {r["residual"] for r in result.app_results} == {4.0}
+
+    def test_namd_energy_reduced_every_step(self):
+        result = run_ground_truth(SMALL["NAMD"](), 4)
+        energies = {r["energy"] for r in result.app_results}
+        assert len(energies) == 1
+
+    def test_namd_partner_symmetry(self):
+        workload = NamdWorkload(max_partners=7)
+        for size in (4, 8, 16, 64):
+            lists = {rank: set(workload._partners(rank, size)) for rank in range(size)}
+            for rank, partners in lists.items():
+                assert rank not in partners
+                for partner in partners:
+                    assert rank in lists[partner], (size, rank, partner)
+
+    def test_cg_partners_symmetric_and_self_free(self):
+        for size in (2, 4, 8, 3, 6, 64):
+            lists = {
+                rank: dict(CgWorkload._partners(rank, size)) for rank in range(size)
+            }
+            for rank, by_stride in lists.items():
+                assert rank not in by_stride.values()
+                for exponent, partner in by_stride.items():
+                    # Symmetric at the SAME stride, so the tags agree.
+                    assert lists[partner].get(exponent) == rank
+
+    def test_strong_scaling_reduces_makespan(self):
+        workload = SMALL["EP"]()
+        small = run_ground_truth(workload, 2)
+        big = run_ground_truth(SMALL["EP"](), 4)
+        assert big.makespan < small.makespan
+
+
+class TestMetrics:
+    def test_nas_mops_definition(self):
+        workload = SMALL["EP"]()
+        result = run_ground_truth(workload, 2)
+        expected = workload.reference_ops / 1e6 / (result.makespan / SECOND)
+        assert workload.metric(result) == pytest.approx(expected)
+
+    def test_namd_metric_is_wallclock_seconds(self):
+        workload = SMALL["NAMD"]()
+        result = run_ground_truth(workload, 2)
+        assert workload.metric(result) == pytest.approx(result.makespan / SECOND)
+
+    def test_accuracy_error_zero_against_self(self):
+        workload = SMALL["CG"]()
+        result = run_ground_truth(workload, 2)
+        assert workload.accuracy_error(result, result) == 0.0
+        assert workload.exec_time_ratio(result, result) == 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EpWorkload(total_ops=-1)
+        with pytest.raises(ValueError):
+            EpWorkload(chunks=0)
+        with pytest.raises(ValueError):
+            IsWorkload(iterations=0)
+        with pytest.raises(ValueError):
+            CgWorkload(iterations=0)
+        with pytest.raises(ValueError):
+            MgWorkload(cycles=0)
+        with pytest.raises(ValueError):
+            LuWorkload(planes=0)
+        with pytest.raises(ValueError):
+            NamdWorkload(timesteps=0)
+        with pytest.raises(ValueError):
+            NamdWorkload(pme_every=-1)
+        with pytest.raises(ValueError):
+            PhaseWorkload(pattern="bogus")
+        with pytest.raises(ValueError):
+            PingPongWorkload(rounds=0)
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("pattern", ["ring", "alltoall", "pairs", "allreduce"])
+    def test_phase_patterns_complete(self, pattern):
+        workload = PhaseWorkload(phases=2, compute_ops=1e6, pattern=pattern)
+        result = run_ground_truth(workload, 4)
+        assert result.completed
+        assert workload.metric(result) > 0
+
+    def test_pingpong_roundtrip_matches_network(self):
+        workload = PingPongWorkload(rounds=5, message_bytes=64)
+        result = run_ground_truth(workload, 2)
+        mean_rtt_us = workload.metric(result)
+        # One-way latency for a 130B frame is 1104ns; the round trip adds
+        # receive/send software cost at the peer, so the RTT sits a few us
+        # above 2.2us and far below a quantum-snapped value.
+        assert 2.0 < mean_rtt_us < 15.0
+
+    def test_pingpong_works_with_spectators(self):
+        workload = PingPongWorkload(rounds=3)
+        result = run_ground_truth(workload, 4)
+        assert result.completed
