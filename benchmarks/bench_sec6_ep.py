@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from repro.harness import figures
 from repro.harness.configs import scaleout_configs
-from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import ParallelRunner
 
 from conftest import BENCH_SEED
 
 
 def run_table():
-    runner = ExperimentRunner(seed=BENCH_SEED)
+    runner = ParallelRunner(seed=BENCH_SEED, use_cache=False)
     config = next(c for c in scaleout_configs() if c.name == "EP")
     return figures.section6(runner, config)
 

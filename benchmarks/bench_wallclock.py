@@ -1,0 +1,125 @@
+"""Wall-clock benchmark for the experiment farm (serial vs parallel vs cache).
+
+Times one representative experiment suite — the EP/IS/NAMD accuracy matrix
+at 2/4/8 nodes under every paper policy — three ways:
+
+* ``serial``: the plain :class:`ExperimentRunner` loop (the pre-farm path),
+* ``parallel_cold``: :class:`ParallelRunner` fan-out with an empty cache,
+* ``parallel_warm``: the same batch answered from the persistent cache.
+
+Each timing is the best of ``ROUNDS`` repetitions (the container this runs
+in may be small and noisy; best-of-N is the stable statistic).  The numbers
+land machine-readably in ``benchmarks/out/wallclock.json`` together with
+the core count, so results from different machines stay comparable.
+
+Speedup assertions are honest about hardware: parallel fan-out can only be
+expected to win when there are cores to fan out over, so the >= 2x check is
+gated on ``os.cpu_count() >= 4``.  The warm-cache check (< 1s for the whole
+suite) holds everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import time
+
+from repro.harness.configs import paper_policies
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import CACHE_VERSION, ParallelRunner
+from repro.workloads import EpWorkload, IsWorkload, NamdWorkload
+
+from conftest import BENCH_SEED
+
+#: Repetitions per timing; the minimum is reported.
+ROUNDS = 3
+
+SIZES = (2, 4, 8)
+
+
+def _suite_workloads():
+    return [EpWorkload(), IsWorkload(), NamdWorkload()]
+
+
+def _run_suite(runner):
+    specs = paper_policies()
+    return [
+        row
+        for workload in _suite_workloads()
+        for row in runner.run_matrix(workload, SIZES, specs)
+    ]
+
+
+def _best_of(rounds, make_runner, *, reset=None):
+    best = None
+    rows = None
+    for _ in range(rounds):
+        if reset is not None:
+            reset()
+        runner = make_runner()
+        started = time.perf_counter()
+        rows = _run_suite(runner)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, rows
+
+
+def test_wallclock_farm(artifact_dir, tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    serial_s, serial_rows = _best_of(
+        ROUNDS, lambda: ExperimentRunner(seed=BENCH_SEED)
+    )
+
+    def clear_cache():
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cold_s, cold_rows = _best_of(
+        ROUNDS,
+        lambda: ParallelRunner(seed=BENCH_SEED, cache_dir=cache_dir),
+        reset=clear_cache,
+    )
+
+    # Warm the cache once, then time pure cache reads.
+    _run_suite(ParallelRunner(seed=BENCH_SEED, cache_dir=cache_dir))
+    warm_s, warm_rows = _best_of(
+        ROUNDS, lambda: ParallelRunner(seed=BENCH_SEED, cache_dir=cache_dir)
+    )
+
+    # The farm must not change the numbers, only the wall-clock.
+    assert cold_rows == serial_rows
+    assert warm_rows == serial_rows
+
+    cores = os.cpu_count() or 1
+    report = {
+        "meta": {
+            "seed": BENCH_SEED,
+            "sizes": list(SIZES),
+            "workloads": [w.name for w in _suite_workloads()],
+            "rounds": ROUNDS,
+            "cpu_count": cores,
+            "python": platform.python_version(),
+            "cache_version": CACHE_VERSION,
+        },
+        "suites": {
+            "ep_is_namd_matrix": {
+                "serial_s": round(serial_s, 3),
+                "parallel_cold_s": round(cold_s, 3),
+                "parallel_warm_s": round(warm_s, 3),
+                "parallel_speedup": round(serial_s / cold_s, 2),
+                "warm_speedup": round(serial_s / warm_s, 2),
+            }
+        },
+    }
+    path = artifact_dir / "wallclock.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")
+
+    # A warm cache answers the whole suite from disk in under a second.
+    assert warm_s < 1.0
+
+    # Fan-out only beats the serial loop when there are cores to use.
+    if cores >= 4:
+        assert serial_s / cold_s >= 2.0

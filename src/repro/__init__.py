@@ -46,7 +46,9 @@ from repro.core import (
     ThresholdAdaptivePolicy,
 )
 from repro.harness import (
+    DiskResultCache,
     ExperimentRunner,
+    ParallelRunner,
     PolicySpec,
     ground_truth_policy,
     nas_suite,
@@ -106,6 +108,8 @@ __all__ = [
     "StreamWorkload",
     # harness
     "ExperimentRunner",
+    "ParallelRunner",
+    "DiskResultCache",
     "PolicySpec",
     "paper_policies",
     "ground_truth_policy",

@@ -309,8 +309,15 @@ class ClusterSimulator:
                 busy_slowdown, idle_slowdown = model.slowdown_pair(start)
                 clock.reset(start, host, busy_slowdown, idle_slowdown, node.activity)
 
-            for decision in controller.release_due(start, end):
-                nodes[decision.packet.dst].deliver(decision.packet, decision.deliver_time)
+            # Only ask the controller to scan its held-frame heap when the
+            # earliest held frame is actually due — for most quanta the call
+            # would return an empty list (the hot path of long runs).
+            held = controller.next_held_time()
+            if held is not None and held < end:
+                for decision in controller.release_due(start, end):
+                    nodes[decision.packet.dst].deliver(
+                        decision.packet, decision.deliver_time
+                    )
 
             self._in_window = True
             self._run_window(end)
@@ -364,11 +371,19 @@ class ClusterSimulator:
         handles an event (which may also flip its activity), or after a
         delivery lands in its queue — tracked with per-node sequence
         numbers bumped on every push.
+
+        When only one node has a live entry (common at small clusters and
+        in compute-dominated phases), host-time interleaving cannot change
+        the order — ordering only matters *between* nodes — so the node's
+        events are drained directly, skipping the per-event ``host_of``
+        key computation and heap churn, until a delivery touches any node.
         """
         nodes = self.nodes
         clocks = self._clocks
         sequences = [0] * len(nodes)
         heap: list[tuple[float, int, int]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def push(node_id: int) -> None:
             event_time = nodes[node_id].peek_time()
@@ -376,17 +391,27 @@ class ClusterSimulator:
             if event_time is None or event_time >= end:
                 return
             key = clocks[node_id].host_of(event_time)
-            heapq.heappush(heap, (key, node_id, sequences[node_id]))
+            heappush(heap, (key, node_id, sequences[node_id]))
 
         for node_id in range(len(nodes)):
             push(node_id)
         dirty = self._dirty
         while heap:
-            _, node_id, entry_seq = heapq.heappop(heap)
+            _, node_id, entry_seq = heappop(heap)
             if entry_seq != sequences[node_id]:
                 continue
             dirty.clear()
-            nodes[node_id].pop_and_handle()
+            node = nodes[node_id]
+            node.pop_and_handle()
+            if not heap:
+                # Single-active-node fast path (see docstring).
+                peek = node.peek_time
+                handle = node.pop_and_handle
+                while not dirty:
+                    event_time = peek()
+                    if event_time is None or event_time >= end:
+                        break
+                    handle()
             push(node_id)
             for touched in dirty:
                 if touched != node_id:
@@ -399,12 +424,12 @@ class ClusterSimulator:
 
     def _next_interesting_time(self) -> Optional[SimTime]:
         """Earliest simulated time at which anything can happen."""
-        times = [node.peek_time() for node in self.nodes]
-        held = self.controller.next_held_time()
-        candidates = [t for t in times if t is not None]
-        if held is not None:
-            candidates.append(held)
-        return min(candidates) if candidates else None
+        best = self.controller.next_held_time()
+        for node in self.nodes:
+            t = node.peek_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
 
     def _fast_forward(
         self,

@@ -20,7 +20,7 @@ replacement: ``ClusterConfig(barrier=FarmBarrierModel(farm))``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class FarmLayout:
@@ -59,7 +59,7 @@ class FarmBarrierModel:
     """
 
     base: float = 0.6e-3
-    layout: FarmLayout = FarmLayout()
+    layout: FarmLayout = field(default_factory=FarmLayout)
     #: Shared-memory synchronisation per co-located simulator.
     intra_per_sim: float = 20e-6
     #: Farm-network round trip per participating host.

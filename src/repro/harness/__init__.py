@@ -5,6 +5,8 @@
   calibration, scale-out instances).
 * :mod:`repro.harness.experiment` — builds clusters, runs them, caches the
   ground truth, and compares configurations against it.
+* :mod:`repro.harness.parallel` — the experiment farm: process-pool batch
+  fan-out plus the persistent on-disk result cache.
 * :mod:`repro.harness.report` — fixed-width text tables for every figure
   and table in the paper.
 * :mod:`repro.harness.sweep` — parameter sweeps (inc/dec ablations).
@@ -24,6 +26,12 @@ from repro.harness.experiment import (
     ExperimentRecord,
     ExperimentRunner,
 )
+from repro.harness.parallel import (
+    DiskResultCache,
+    ParallelRunner,
+    RunnerSettings,
+    RunSpec,
+)
 
 __all__ = [
     "PAPER_SIZES",
@@ -35,4 +43,8 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentRecord",
     "ComparisonRow",
+    "ParallelRunner",
+    "DiskResultCache",
+    "RunnerSettings",
+    "RunSpec",
 ]

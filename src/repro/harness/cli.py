@@ -19,7 +19,7 @@ import time
 from repro.engine.units import MILLISECOND
 from repro.harness import figures
 from repro.harness.configs import scaleout_configs
-from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import ParallelRunner
 from repro.harness.sweep import sweep_inc_dec
 from repro.workloads import (
     CgWorkload,
@@ -41,39 +41,78 @@ _WORKLOADS = {
 
 
 def _parser() -> argparse.ArgumentParser:
+    # Shared options live on a parent parser (with SUPPRESS defaults, so a
+    # subcommand never clobbers a globally-given value) and are accepted
+    # both before and after the subcommand name.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root RNG seed"
+    )
+    common.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes for the experiment farm "
+        "(default: one per CPU; 1 = serial; REPRO_PARALLEL=0 also forces serial)",
+    )
+    common.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="skip the persistent result cache (.repro_cache/)",
+    )
+    common.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        help="result cache location (default: .repro_cache or $REPRO_CACHE_DIR)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro-cluster",
         description="Regenerate the figures and tables of the adaptive-"
         "synchronization paper on the simulated cluster.",
+        parents=[common],
     )
-    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig6 = sub.add_parser("fig6", help="NAS accuracy and speedup matrix")
+    fig6 = sub.add_parser(
+        "fig6", help="NAS accuracy and speedup matrix", parents=[common]
+    )
     fig6.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 8])
 
-    fig7 = sub.add_parser("fig7", help="NAMD accuracy and speedup matrix")
+    fig7 = sub.add_parser(
+        "fig7", help="NAMD accuracy and speedup matrix", parents=[common]
+    )
     fig7.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 8])
 
-    sub.add_parser("fig8", help="Pareto optimality at 8 nodes")
+    sub.add_parser("fig8", help="Pareto optimality at 8 nodes", parents=[common])
 
-    sec6 = sub.add_parser("sec6", help="64-node scale-out case studies")
+    sec6 = sub.add_parser(
+        "sec6", help="64-node scale-out case studies", parents=[common]
+    )
     sec6.add_argument("--case", choices=["EP", "IS", "NAMD", "all"], default="all")
 
-    fig9 = sub.add_parser("fig9", help="traffic + speedup-over-time, 64 nodes")
+    fig9 = sub.add_parser(
+        "fig9", help="traffic + speedup-over-time, 64 nodes", parents=[common]
+    )
     fig9.add_argument("--case", choices=["EP", "IS", "NAMD"], default="EP")
 
-    sweep = sub.add_parser("sweep", help="inc/dec ablation sweep")
+    sweep = sub.add_parser("sweep", help="inc/dec ablation sweep", parents=[common])
     sweep.add_argument("--workload", choices=sorted(_WORKLOADS), default="IS")
     sweep.add_argument("--size", type=int, default=8)
 
     transport = sub.add_parser(
-        "transport", help="windowed-transport (TCP-like) feedback ablation"
+        "transport",
+        help="windowed-transport (TCP-like) feedback ablation",
+        parents=[common],
     )
     transport.add_argument("--window-kib", type=int, default=16)
 
     sampling = sub.add_parser(
-        "sampling", help="adaptive quantum x node sampling (paper §7)"
+        "sampling",
+        help="adaptive quantum x node sampling (paper §7)",
+        parents=[common],
     )
     sampling.add_argument("--detail-fraction", type=float, default=0.2)
     return parser
@@ -87,9 +126,29 @@ def _scaleout(case: str):
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    # Shared options use SUPPRESS defaults (see _parser), so read them
+    # with fallbacks.
+    args.seed = getattr(args, "seed", 42)
+    args.jobs = getattr(args, "jobs", None)
+    args.no_cache = getattr(args, "no_cache", False)
+    args.cache_dir = getattr(args, "cache_dir", None)
     started = time.time()
-    runner = ExperimentRunner(seed=args.seed)
+    runner = ParallelRunner(
+        seed=args.seed,
+        max_workers=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
 
     if args.command == "fig6":
         result = figures.run_nas_suite_matrix(runner, tuple(args.sizes))
@@ -112,11 +171,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"paper reported: {result.paper_rows}\n")
     elif args.command == "fig9":
         config = _scaleout(args.case)
+        # Traced/timelined runs are never cached, but the parallel runner
+        # still provides progress reporting.
         result = figures.figure9(
-            lambda record_traffic, timeline_bucket: ExperimentRunner(
+            lambda record_traffic, timeline_bucket: ParallelRunner(
                 seed=args.seed,
                 record_traffic=record_traffic,
                 timeline_bucket=timeline_bucket,
+                max_workers=args.jobs,
+                progress=True,
             ),
             config,
             bucket=MILLISECOND,
@@ -142,7 +205,13 @@ def main(argv: list[str] | None = None) -> int:
             (f"window {args.window_kib}KiB",
              TransportConfig(window_bytes=args.window_kib * 1024)),
         ]:
-            transport_runner = ExperimentRunner(seed=args.seed, transport=config)
+            transport_runner = ParallelRunner(
+                seed=args.seed,
+                transport=config,
+                max_workers=args.jobs,
+                use_cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+            )
             workload = StreamWorkload()
             transport_runner.ground_truth(workload, 2)
             for spec in [

@@ -33,6 +33,10 @@ PAPER_SIZES = (2, 4, 8)
 #: Ground-truth quantum: 1 us, at or below the minimum network latency.
 GROUND_TRUTH_QUANTUM = US
 
+#: Label of the ground-truth policy spec (quantum in microseconds, like the
+#: paper's legends); batch runners use it to recognise reference runs.
+GROUND_TRUTH_LABEL = "1"
+
 
 @dataclass(frozen=True)
 class PolicySpec:
@@ -50,7 +54,9 @@ class PolicySpec:
 
 
 def ground_truth_policy() -> PolicySpec:
-    return PolicySpec("1", lambda: FixedQuantumPolicy(GROUND_TRUTH_QUANTUM))
+    return PolicySpec(
+        GROUND_TRUTH_LABEL, lambda: FixedQuantumPolicy(GROUND_TRUTH_QUANTUM)
+    )
 
 
 def paper_policies(include_ground_truth: bool = False) -> list[PolicySpec]:

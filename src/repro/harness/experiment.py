@@ -15,7 +15,7 @@ from typing import Optional
 from repro.core.barrier import BarrierModel
 from repro.core.cluster import ClusterConfig, ClusterSimulator, RunResult
 from repro.core.quantum import QuantumPolicy
-from repro.engine.units import SimTime
+from repro.engine.units import SimTime, format_time
 from repro.harness.configs import PolicySpec, ground_truth_policy
 from repro.metrics.traffic import TrafficTrace
 from repro.network.controller import NetworkController
@@ -116,8 +116,10 @@ class ExperimentRunner:
         if not result.completed:
             raise RuntimeError(
                 f"{workload.name} at {size} nodes under {label or policy.describe()} "
-                f"hit the simulated-time limit; raise ClusterConfig.sim_time_limit "
-                f"or shrink the workload"
+                f"hit the simulated-time limit (reached sim_time="
+                f"{format_time(result.sim_time)} of sim_time_limit="
+                f"{format_time(config.sim_time_limit)}); raise "
+                f"ClusterConfig.sim_time_limit or shrink the workload"
             )
         return ExperimentRecord(
             workload_name=workload.name,
@@ -132,24 +134,55 @@ class ExperimentRunner:
     def run_spec(self, workload: Workload, size: int, spec: PolicySpec) -> ExperimentRecord:
         return self.run(workload, size, spec.build(), label=spec.label)
 
+    def run_many(
+        self, requests: list[tuple[Workload, int, PolicySpec]]
+    ) -> list[ExperimentRecord]:
+        """Run a batch of independent configurations, in request order.
+
+        Every request is independent (each run builds a fresh cluster with
+        its own RNG streams from the runner's seed), so the results do not
+        depend on execution order — which is what lets
+        :class:`~repro.harness.parallel.ParallelRunner` override this with
+        a process-pool fan-out while staying bit-identical to this serial
+        loop.  Ground-truth requests (label ``"1"``) are *run* but not
+        adopted; callers register them via :meth:`adopt_ground_truth`.
+        """
+        return [self.run_spec(w, size, spec) for w, size, spec in requests]
+
     # ------------------------------------------------------------------ #
     # Ground truth and comparisons
     # ------------------------------------------------------------------ #
 
+    def has_ground_truth(self, workload: Workload, size: int) -> bool:
+        """True when the (workload, size) reference run is already cached."""
+        return (workload.name, size) in self._ground_truth
+
+    def adopt_ground_truth(
+        self, workload: Workload, record: ExperimentRecord
+    ) -> ExperimentRecord:
+        """Validate *record* as the (workload, size) reference and cache it.
+
+        Used by batch runners that compute reference runs out-of-line (in a
+        worker process or from the disk cache) rather than through
+        :meth:`ground_truth`.
+        """
+        stats = record.result.controller_stats
+        if stats.stragglers != 0:
+            raise RuntimeError(
+                f"ground truth for {workload.name} at {record.size} nodes saw "
+                f"{stats.stragglers} stragglers; the quantum must not "
+                f"exceed the minimum network latency"
+            )
+        self._ground_truth[(workload.name, record.size)] = record
+        return record
+
     def ground_truth(self, workload: Workload, size: int) -> ExperimentRecord:
         """The 1 us-quantum reference run, cached per (workload, size)."""
-        key = (workload.name, size)
-        record = self._ground_truth.get(key)
+        record = self._ground_truth.get((workload.name, size))
         if record is None:
-            record = self.run_spec(workload, size, ground_truth_policy())
-            stats = record.result.controller_stats
-            if stats.stragglers != 0:
-                raise RuntimeError(
-                    f"ground truth for {workload.name} at {size} nodes saw "
-                    f"{stats.stragglers} stragglers; the quantum must not "
-                    f"exceed the minimum network latency"
-                )
-            self._ground_truth[key] = record
+            record = self.adopt_ground_truth(
+                workload, self.run_spec(workload, size, ground_truth_policy())
+            )
         return record
 
     def compare(
@@ -180,10 +213,25 @@ class ExperimentRunner:
         sizes: tuple[int, ...],
         specs: list[PolicySpec],
     ) -> list[ComparisonRow]:
-        """Every (size, policy) combination, compared to ground truth."""
-        rows = []
+        """Every (size, policy) combination, compared to ground truth.
+
+        The whole grid (including missing ground truths) is expressed as
+        one :meth:`run_many` batch, so a parallel runner fans it out over
+        worker processes in a single wave.
+        """
+        requests: list[tuple[Workload, int, PolicySpec]] = []
+        injected: set[int] = set()
         for size in sizes:
-            self.ground_truth(workload, size)
+            if not self.has_ground_truth(workload, size):
+                injected.add(len(requests))
+                requests.append((workload, size, ground_truth_policy()))
             for spec in specs:
-                rows.append(self.run_and_compare(workload, size, spec))
-        return rows
+                requests.append((workload, size, spec))
+        records = self.run_many(requests)
+        for index in injected:
+            self.adopt_ground_truth(workload, records[index])
+        return [
+            self.compare(workload, record)
+            for index, record in enumerate(records)
+            if index not in injected
+        ]

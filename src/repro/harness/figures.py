@@ -16,6 +16,7 @@ from repro.harness.configs import (
     PAPER_SIZES,
     PolicySpec,
     ScaleoutConfig,
+    ground_truth_policy,
     namd_workload,
     nas_suite,
     paper_policies,
@@ -92,11 +93,27 @@ def run_nas_suite_matrix(
     """
     specs = specs if specs is not None else paper_policies()
     suite = suite if suite is not None else nas_suite()
+
+    # Express the whole matrix as one batch so a ParallelRunner fans it
+    # out over worker processes in a single wave; results come back in
+    # request order, so the assembly below just walks an iterator.
+    requests: list[tuple[Workload, int, PolicySpec]] = []
+    for size in sizes:
+        for workload in suite:
+            if not runner.has_ground_truth(workload, size):
+                requests.append((workload, size, ground_truth_policy()))
+        for spec in specs:
+            for workload in suite:
+                requests.append((workload, size, spec))
+    records = iter(runner.run_many(requests))
+
     cells = []
     for size in sizes:
         truth_mops = {}
         truth_host = 0.0
         for workload in suite:
+            if not runner.has_ground_truth(workload, size):
+                runner.adopt_ground_truth(workload, next(records))
             truth = runner.ground_truth(workload, size)
             truth_mops[workload.name] = truth.metric
             truth_host += truth.result.host_time
@@ -105,7 +122,7 @@ def run_nas_suite_matrix(
             config_host = 0.0
             rows = []
             for workload in suite:
-                record = runner.run_spec(workload, size, spec)
+                record = next(records)
                 config_mops[workload.name] = record.metric
                 config_host += record.result.host_time
                 rows.append(runner.compare(workload, record))
@@ -134,21 +151,19 @@ def figure7(
     runner: ExperimentRunner, sizes: tuple[int, ...] = PAPER_SIZES
 ) -> SuiteResult:
     """Figure 7 is the Figure 6 matrix for NAMD alone."""
-    cells = []
     workload = namd_workload()
-    for size in sizes:
-        for spec in paper_policies():
-            row = runner.run_and_compare(workload, size, spec)
-            cells.append(
-                SuiteCell(
-                    policy_label=spec.label,
-                    size=size,
-                    accuracy_error=row.accuracy_error,
-                    speedup=row.speedup,
-                    per_benchmark=[row],
-                )
+    return SuiteResult(
+        [
+            SuiteCell(
+                policy_label=row.policy_label,
+                size=row.size,
+                accuracy_error=row.accuracy_error,
+                speedup=row.speedup,
+                per_benchmark=[row],
             )
-    return SuiteResult(cells)
+            for row in runner.run_matrix(workload, sizes, paper_policies())
+        ]
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -263,38 +278,32 @@ class ScaleoutResult:
 
 
 def section6(runner: ExperimentRunner, config: ScaleoutConfig) -> ScaleoutResult:
-    """One of the paper's three 64-node case-study tables."""
+    """One of the paper's three 64-node case-study tables.
+
+    All runs (ground truth included) go through one ``run_matrix`` batch,
+    so a :class:`~repro.harness.parallel.ParallelRunner` computes the
+    whole table in a single process-pool wave.
+    """
     from repro.core.quantum import FixedQuantumPolicy
 
     workload = config.workload_factory()
-    runner.ground_truth(workload, config.size)
-    rows = []
-    for quantum in config.fixed_quanta:
-        spec = PolicySpec(
+    specs = [
+        PolicySpec(
             f"{quantum // MICROSECOND}us", lambda q=quantum: FixedQuantumPolicy(q)
         )
-        comparison = runner.run_and_compare(workload, config.size, spec)
-        rows.append(
-            ScaleoutRow(
-                label=spec.label,
-                speedup=comparison.speedup,
-                accuracy_error=comparison.accuracy_error,
-                exec_time_ratio=comparison.exec_time_ratio,
-                mean_quantum=comparison.mean_quantum,
-            )
-        )
-    comparison = runner.run_and_compare(
-        workload, config.size, PolicySpec(config.dyn_label, config.dyn_factory)
-    )
-    rows.append(
+        for quantum in config.fixed_quanta
+    ]
+    specs.append(PolicySpec(config.dyn_label, config.dyn_factory))
+    rows = [
         ScaleoutRow(
-            label=config.dyn_label,
+            label=comparison.policy_label,
             speedup=comparison.speedup,
             accuracy_error=comparison.accuracy_error,
             exec_time_ratio=comparison.exec_time_ratio,
             mean_quantum=comparison.mean_quantum,
         )
-    )
+        for comparison in runner.run_matrix(workload, (config.size,), specs)
+    ]
     return ScaleoutResult(name=config.name, rows=rows, paper_rows=config.paper_rows)
 
 

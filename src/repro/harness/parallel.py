@@ -1,0 +1,571 @@
+"""Parallel experiment farm: process-pool fan-out + persistent result cache.
+
+The paper distributes its node simulators over a sixteen-blade farm
+(Section 6); this module does the analogous thing to the *experiments
+themselves*.  Every run of the harness — a (workload, size, policy, seed)
+configuration — is independent: it builds a fresh cluster, spawns its own
+RNG streams from the root seed, and touches no shared state.  That makes
+the experiment matrix embarrassingly parallel, and it makes every result a
+pure function of its configuration — cacheable on disk forever.
+
+Two pieces:
+
+* :class:`ParallelRunner` — a drop-in :class:`ExperimentRunner` whose
+  :meth:`~repro.harness.experiment.ExperimentRunner.run_many` fans the
+  batch out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+  Results are returned in request order regardless of completion order,
+  so the parallel path is **bit-identical** to the serial one (each run is
+  deterministic given its spec).  ``max_workers=1`` or the environment
+  variable ``REPRO_PARALLEL=0`` force the serial path; a crashed worker
+  pool degrades to in-process recomputation instead of losing the batch;
+  Ctrl-C cancels outstanding work promptly.
+
+* :class:`DiskResultCache` — a persistent ground-truth/result cache under
+  ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``), keyed by a stable
+  SHA-256 over the full configuration: workload class + parameters, size,
+  policy class + parameters, seed, host-model calibration, barrier model,
+  latency calibration, and transport settings, plus a cache format
+  version.  Entries are one JSON file each; an entry whose version or key
+  payload does not match is ignored and recomputed (then overwritten), so
+  stale or corrupted files can never poison a result.  The expensive 1 us
+  ground-truth runs are therefore computed once per machine, not once per
+  benchmark script.
+
+Runs that record a traffic trace or a bucket timeline are never cached
+(those artefacts are not round-trippable through the JSON schema); they
+simply recompute, bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.barrier import BarrierModel
+from repro.core.cluster import RunResult
+from repro.core.quantum import QuantumPolicy, QuantumStats
+from repro.core.stats import HostCostBreakdown
+from repro.engine.units import SimTime
+from repro.harness.configs import PolicySpec
+from repro.harness.experiment import ExperimentRecord, ExperimentRunner
+from repro.network.controller import ControllerStats
+from repro.network.latency import PAPER_NETWORK
+from repro.node.hostmodel import HostModelParams
+from repro.node.node import NodeStats
+from repro.node.transport import TransportConfig
+from repro.workloads.base import Workload
+
+#: Bump whenever the cached-record schema or run semantics change; every
+#: older cache entry is then ignored and recomputed.
+CACHE_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class Uncacheable(TypeError):
+    """A configuration or result that cannot be stably serialized."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert *value* to plain JSON types, or raise :class:`Uncacheable`.
+
+    Floats round-trip exactly through JSON (shortest-repr encoding), so
+    cached records reproduce byte-identical comparison rows.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    # numpy scalars (np.int64 lengths, np.float64 draws) leak into stats.
+    item = getattr(value, "item", None)
+    if callable(item) and type(value).__module__.startswith("numpy"):
+        return _jsonable(value.item())
+    raise Uncacheable(f"cannot serialize {type(value).__name__!r} for the cache")
+
+
+def _describe_component(obj: Any) -> dict:
+    """Stable identity of a model object: class path + scalar parameters."""
+    payload = {"class": f"{type(obj).__module__}.{type(obj).__qualname__}"}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload["params"] = _jsonable(dataclasses.asdict(obj))
+    else:
+        payload["params"] = _jsonable(vars(obj))
+    return payload
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """The picklable construction recipe of an :class:`ExperimentRunner`.
+
+    Shipped to worker processes so each builds a runner identical to the
+    parent's, and hashed into cache keys so a cache entry can never be
+    replayed under different calibration.
+    """
+
+    seed: int = 42
+    host_params: HostModelParams = field(default_factory=HostModelParams)
+    barrier: BarrierModel = field(default_factory=BarrierModel)
+    latency_factory: Callable = PAPER_NETWORK
+    timeline_bucket: Optional[SimTime] = None
+    record_traffic: bool = False
+    transport: Optional[TransportConfig] = None
+
+    def build_runner(self) -> ExperimentRunner:
+        return ExperimentRunner(
+            seed=self.seed,
+            host_params=self.host_params,
+            barrier=self.barrier,
+            latency_factory=self.latency_factory,
+            timeline_bucket=self.timeline_bucket,
+            record_traffic=self.record_traffic,
+            transport=self.transport,
+        )
+
+    @property
+    def cacheable(self) -> bool:
+        """Traces and timelines do not round-trip through the cache."""
+        return self.timeline_bucket is None and not self.record_traffic
+
+    def key_fragment(self, size: int) -> dict:
+        factory = self.latency_factory
+        return {
+            "seed": self.seed,
+            "host_params": _jsonable(dataclasses.asdict(self.host_params)),
+            "barrier": _describe_component(self.barrier),
+            "latency": {
+                "factory": f"{factory.__module__}.{factory.__qualname__}",
+                # Calibration probe: the minimum latency pins the PDES
+                # ``T`` for this size even if the factory name collides.
+                "min_latency": factory(size).min_latency(),
+            },
+            "transport": (
+                _jsonable(dataclasses.asdict(self.transport))
+                if self.transport is not None
+                else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved run, picklable for worker processes.
+
+    The policy is carried as a *built* instance (policies are pure state
+    machines), because :class:`~repro.harness.configs.PolicySpec` factories
+    are usually lambdas, which do not pickle.
+    """
+
+    workload: Workload
+    size: int
+    policy: QuantumPolicy
+    label: str
+    settings: RunnerSettings
+    cache_dir: Optional[str] = None
+
+    def key_payload(self) -> dict:
+        return {
+            "cache_version": CACHE_VERSION,
+            "workload": _describe_component(self.workload),
+            "size": self.size,
+            "policy": _describe_component(self.policy),
+            "label": self.label,
+            "runner": self.settings.key_fragment(self.size),
+        }
+
+
+# --------------------------------------------------------------------- #
+# Record (de)serialization
+# --------------------------------------------------------------------- #
+
+
+def record_to_json(record: ExperimentRecord) -> dict:
+    """Encode a finished record as plain JSON (no trace/timeline)."""
+    result = record.result
+    if result.timeline is not None or record.trace is not None:
+        raise Uncacheable("runs with traces or timelines are not cacheable")
+    return {
+        "workload_name": record.workload_name,
+        "size": record.size,
+        "policy_label": record.policy_label,
+        "seed": record.seed,
+        "metric": record.metric,
+        "result": {
+            "sim_time": result.sim_time,
+            "host_time": result.host_time,
+            "completed": result.completed,
+            "breakdown": dataclasses.asdict(result.breakdown),
+            "quantum_stats": dataclasses.asdict(result.quantum_stats),
+            "controller_stats": dataclasses.asdict(result.controller_stats),
+            "node_stats": [dataclasses.asdict(s) for s in result.node_stats],
+            "app_results": _jsonable(result.app_results),
+            "app_finish_times": list(result.app_finish_times),
+        },
+    }
+
+
+def record_from_json(payload: dict) -> ExperimentRecord:
+    """Rebuild an :class:`ExperimentRecord` written by :func:`record_to_json`."""
+    res = payload["result"]
+    result = RunResult(
+        sim_time=res["sim_time"],
+        host_time=res["host_time"],
+        completed=res["completed"],
+        breakdown=HostCostBreakdown(**res["breakdown"]),
+        quantum_stats=QuantumStats(**res["quantum_stats"]),
+        controller_stats=ControllerStats(**res["controller_stats"]),
+        node_stats=[NodeStats(**stats) for stats in res["node_stats"]],
+        app_results=res["app_results"],
+        app_finish_times=res["app_finish_times"],
+        timeline=None,
+    )
+    return ExperimentRecord(
+        workload_name=payload["workload_name"],
+        size=payload["size"],
+        policy_label=payload["policy_label"],
+        seed=payload["seed"],
+        metric=payload["metric"],
+        result=result,
+        trace=None,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Disk cache
+# --------------------------------------------------------------------- #
+
+
+class DiskResultCache:
+    """Persistent per-machine store of finished experiment records.
+
+    One JSON file per configuration under *root*, named by the SHA-256 of
+    the canonical key payload.  Every file embeds its version and its full
+    key payload; :meth:`get` verifies both and treats any mismatch (format
+    bump, hash collision, truncation, hand-editing) as a miss — the entry
+    is recomputed and overwritten, never trusted.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(payload: dict) -> str:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+    def _path(self, payload: dict) -> Path:
+        return self.root / f"{self.key_of(payload)}.json"
+
+    def get(self, payload: dict) -> Optional[ExperimentRecord]:
+        """The cached record for *payload*, or None on any mismatch."""
+        # Round-trip the expected payload through JSON so the comparison
+        # below is canonical (tuples become lists, etc.).
+        expected = json.loads(json.dumps(payload))
+        try:
+            raw = self._path(payload).read_text()
+            entry = json.loads(raw)
+            if entry.get("cache_version") != CACHE_VERSION:
+                raise ValueError("version mismatch")
+            if entry.get("key") != expected:
+                raise ValueError("key mismatch")
+            record = record_from_json(entry["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, payload: dict, record: ExperimentRecord) -> bool:
+        """Store *record*; returns False when it cannot be serialized."""
+        try:
+            entry = {
+                "cache_version": CACHE_VERSION,
+                "key": payload,
+                "record": record_to_json(record),
+            }
+            body = json.dumps(entry)
+        except Uncacheable:
+            return False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self._path(payload)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(body)
+            os.replace(tmp, path)  # atomic: concurrent workers never collide
+        except OSError:
+            return False  # unwritable cache root: the run still succeeds
+        return True
+
+
+# --------------------------------------------------------------------- #
+# Worker entry point
+# --------------------------------------------------------------------- #
+
+
+def _specs_picklable(specs: list[RunSpec], pending: list[int]) -> bool:
+    """Whether every pending spec can be shipped to a worker process."""
+    try:
+        pickle.dumps([specs[index] for index in pending])
+    except Exception:
+        return False
+    return True
+
+
+def _execute(index: int, spec: RunSpec) -> tuple[int, ExperimentRecord, float]:
+    """Run one spec in a worker process; also populates the disk cache."""
+    started = time.perf_counter()
+    runner = spec.settings.build_runner()
+    record = runner.run(spec.workload, spec.size, spec.policy, label=spec.label)
+    wall = time.perf_counter() - started
+    if spec.cache_dir is not None:
+        DiskResultCache(spec.cache_dir).put(spec.key_payload(), record)
+    return index, record, wall
+
+
+# --------------------------------------------------------------------- #
+# The parallel runner
+# --------------------------------------------------------------------- #
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """Worker count after applying the ``REPRO_PARALLEL`` override.
+
+    ``REPRO_PARALLEL=0`` (or ``false``/``no``/``off``) forces the serial
+    path; a positive integer pins the pool size; unset defers to
+    *max_workers* (``None`` = one worker per CPU).
+    """
+    env = os.environ.get("REPRO_PARALLEL")
+    if env is not None:
+        value = env.strip().lower()
+        if value in ("0", "false", "no", "off"):
+            return 1
+        if value.isdigit():
+            return max(1, int(value))
+    if max_workers is not None:
+        return max(1, max_workers)
+    return os.cpu_count() or 1
+
+
+class ParallelRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that farms batches over processes.
+
+    Single-run methods (:meth:`run_spec`, :meth:`ground_truth`, ...) stay
+    in-process but consult the disk cache; batch entry points
+    (:meth:`run_many`, and everything built on it — ``run_matrix``, the
+    figure orchestrators, the inc/dec sweep) fan out.
+
+    Args mirror :class:`ExperimentRunner`, plus:
+        max_workers: pool size (None = CPU count; 1 = serial).
+        use_cache: enable the persistent result cache (automatically
+            disabled for trace/timeline-recording runners).
+        cache_dir: cache location (default ``.repro_cache/`` or
+            ``$REPRO_CACHE_DIR``).
+        progress: write one line per finished run to stderr.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        host_params: Optional[HostModelParams] = None,
+        barrier: Optional[BarrierModel] = None,
+        latency_factory=PAPER_NETWORK,
+        timeline_bucket: Optional[SimTime] = None,
+        record_traffic: bool = False,
+        transport: Optional[TransportConfig] = None,
+        *,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+        cache_dir: str | os.PathLike | None = None,
+        progress: bool = False,
+    ) -> None:
+        super().__init__(
+            seed=seed,
+            host_params=host_params,
+            barrier=barrier,
+            latency_factory=latency_factory,
+            timeline_bucket=timeline_bucket,
+            record_traffic=record_traffic,
+            transport=transport,
+        )
+        self.settings = RunnerSettings(
+            seed=self.seed,
+            host_params=self.host_params,
+            barrier=self.barrier,
+            latency_factory=latency_factory,
+            timeline_bucket=timeline_bucket,
+            record_traffic=record_traffic,
+            transport=transport,
+        )
+        self.max_workers = max_workers
+        self.progress = progress
+        self.cache: Optional[DiskResultCache] = (
+            DiskResultCache(cache_dir)
+            if use_cache and self.settings.cacheable
+            else None
+        )
+        #: (label, size, wall seconds, source) per run of the last batch.
+        self.last_batch_report: list[tuple[str, int, float, str]] = []
+
+    # -- small helpers ------------------------------------------------- #
+
+    def _spec_for(self, workload: Workload, size: int, spec: PolicySpec) -> RunSpec:
+        return RunSpec(
+            workload=workload,
+            size=size,
+            policy=spec.build(),
+            label=spec.label,
+            settings=self.settings,
+            cache_dir=str(self.cache.root) if self.cache is not None else None,
+        )
+
+    def _note(self, done: int, total: int, spec: RunSpec, wall: float, source: str) -> None:
+        self.last_batch_report.append((spec.label, spec.size, wall, source))
+        if self.progress:
+            print(
+                f"[{done}/{total}] {spec.workload.name:>6} n={spec.size:<3} "
+                f"{spec.label:<18} {wall:7.2f}s  ({source})",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def _cache_payload(self, spec: RunSpec) -> Optional[dict]:
+        if self.cache is None:
+            return None
+        try:
+            return spec.key_payload()
+        except Uncacheable:
+            return None  # exotic workload/policy parameters: just recompute
+
+    def _run_local(
+        self, spec: RunSpec, payload: Optional[dict]
+    ) -> tuple[ExperimentRecord, float]:
+        started = time.perf_counter()
+        record = self.run(spec.workload, spec.size, spec.policy, label=spec.label)
+        wall = time.perf_counter() - started
+        if payload is not None:
+            assert self.cache is not None
+            self.cache.put(payload, record)
+        return record, wall
+
+    # -- single-run path (cache-aware) --------------------------------- #
+
+    def run_spec(self, workload: Workload, size: int, spec: PolicySpec) -> ExperimentRecord:
+        run_spec = self._spec_for(workload, size, spec)
+        payload = self._cache_payload(run_spec)
+        if payload is not None:
+            cached = self.cache.get(payload)
+            if cached is not None:
+                return cached
+        record, _ = self._run_local(run_spec, payload)
+        return record
+
+    # -- batch path ----------------------------------------------------- #
+
+    def run_many(
+        self, requests: list[tuple[Workload, int, PolicySpec]]
+    ) -> list[ExperimentRecord]:
+        """Fan the batch out over the process pool, in request order.
+
+        Cache hits are satisfied without touching the pool; the serial
+        fallback (one worker, one pending run, or ``REPRO_PARALLEL=0``)
+        runs the identical in-process code path as the base class.
+        """
+        self.last_batch_report = []
+        total = len(requests)
+        specs = [self._spec_for(w, size, spec) for w, size, spec in requests]
+        payloads = [self._cache_payload(spec) for spec in specs]
+        records: list[Optional[ExperimentRecord]] = [None] * total
+
+        pending: list[int] = []
+        done = 0
+        for index, (spec, payload) in enumerate(zip(specs, payloads)):
+            cached = self.cache.get(payload) if payload is not None else None
+            if cached is not None:
+                records[index] = cached
+                done += 1
+                self._note(done, total, spec, 0.0, "cache")
+            else:
+                pending.append(index)
+
+        workers = min(resolve_workers(self.max_workers), len(pending))
+        if workers > 1 and not _specs_picklable(specs, pending):
+            # A spec cannot cross the process boundary (e.g. a lambda
+            # latency factory).  Checking up front — instead of letting the
+            # executor's feeder thread hit the error — avoids a CPython
+            # shutdown deadlock (gh-105829) and keeps the batch alive.
+            workers = 0
+        if workers <= 1:
+            source = "serial" if workers == 1 or not pending else "serial-fallback"
+            for index in pending:
+                record, wall = self._run_local(specs[index], payloads[index])
+                records[index] = record
+                done += 1
+                self._note(done, total, specs[index], wall, source)
+            return records  # type: ignore[return-value]
+
+        fallback = self._run_pool(specs, pending, records, workers, done, total)
+        for index in fallback:
+            record, wall = self._run_local(specs[index], payloads[index])
+            records[index] = record
+            done = sum(1 for r in records if r is not None)
+            self._note(done, total, specs[index], wall, "serial-fallback")
+        return records  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        specs: list[RunSpec],
+        pending: list[int],
+        records: list[Optional[ExperimentRecord]],
+        workers: int,
+        done: int,
+        total: int,
+    ) -> list[int]:
+        """Dispatch *pending* specs; returns indices needing serial retry."""
+        executor = ProcessPoolExecutor(max_workers=workers)
+        futures = {}
+        try:
+            for index in pending:
+                futures[executor.submit(_execute, index, specs[index])] = index
+            not_done = set(futures)
+            while not_done:
+                finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    try:
+                        index, record, wall = future.result()
+                    except (BrokenProcessPool, pickle.PicklingError):
+                        # A worker died (OOM, signal) or a spec cannot cross
+                        # the process boundary (e.g. a lambda latency
+                        # factory).  Everything not yet gathered re-runs
+                        # in-process so the batch survives.
+                        return [i for i in pending if records[i] is None]
+                    records[index] = record
+                    done += 1
+                    self._note(done, total, specs[index], wall, "worker")
+            return []
+        except KeyboardInterrupt:
+            # Kill in-flight work so Ctrl-C returns promptly instead of
+            # waiting out multi-second simulation runs.
+            for process in getattr(executor, "_processes", {}).values():
+                process.terminate()
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)

@@ -64,17 +64,22 @@ def sweep_inc_dec(
     min_quantum: SimTime = MICROSECOND,
     max_quantum: SimTime = 1000 * MICROSECOND,
 ) -> SweepResult:
-    """Run the workload under every (inc, dec) combination."""
-    points = []
-    for inc in incs:
-        for dec in decs:
-            spec = PolicySpec(
-                f"dyn {inc:.2f}:{dec:.2f}",
-                lambda inc=inc, dec=dec: AdaptiveQuantumPolicy(
-                    min_quantum, max_quantum, inc=inc, dec=dec
-                ),
-            )
-            points.append(
-                SweepPoint(inc, dec, runner.run_and_compare(workload, size, spec))
-            )
+    """Run the workload under every (inc, dec) combination.
+
+    The whole grid is one ``run_matrix`` batch, so a
+    :class:`~repro.harness.parallel.ParallelRunner` computes every point
+    (and a missing ground truth) in a single process-pool wave.
+    """
+    grid = [(inc, dec) for inc in incs for dec in decs]
+    specs = [
+        PolicySpec(
+            f"dyn {inc:.2f}:{dec:.2f}",
+            lambda inc=inc, dec=dec: AdaptiveQuantumPolicy(
+                min_quantum, max_quantum, inc=inc, dec=dec
+            ),
+        )
+        for inc, dec in grid
+    ]
+    rows = runner.run_matrix(workload, (size,), specs)
+    points = [SweepPoint(inc, dec, row) for (inc, dec), row in zip(grid, rows)]
     return SweepResult(workload_name=workload.name, size=size, points=points)

@@ -147,9 +147,19 @@ class NetworkController:
         """
         if self.cluster is None:
             raise RuntimeError("controller is not bound to a cluster")
-        destinations = self._destinations(packet)
+        if not packet.is_broadcast:
+            # Unicast fast path: no fan-out list, no per-frame clone.
+            dst = packet.dst
+            if not 0 <= dst < self.num_nodes:
+                raise ValueError(f"destination {dst} out of range")
+            decision = self._decide(packet, dst, sender_host_time)
+            self._account(decision)
+            if decision.immediate:
+                return [decision]
+            self._hold(decision)
+            return []
         immediate = []
-        for dst, frame in destinations:
+        for dst, frame in self._destinations(packet):
             decision = self._decide(frame, dst, sender_host_time)
             self._account(decision)
             if decision.immediate:

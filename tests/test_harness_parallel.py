@@ -1,0 +1,223 @@
+"""Tests for the parallel experiment farm: fan-out, cache, equivalence.
+
+The load-bearing guarantees:
+
+* the parallel path is byte-identical to the serial one (same seeds, same
+  ``ComparisonRow`` values, regardless of worker count or completion
+  order),
+* the disk cache never changes a result — a hit reproduces the record
+  exactly, and any stale/corrupt/mismatched entry is ignored and
+  recomputed,
+* ``REPRO_PARALLEL`` and ``max_workers=1`` force the serial path.
+
+Workload instances are deliberately tiny; the benchmarks measure the real
+matrix.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.configs import PolicySpec, paper_policies
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import (
+    CACHE_VERSION,
+    DiskResultCache,
+    ParallelRunner,
+    RunnerSettings,
+    RunSpec,
+    record_from_json,
+    record_to_json,
+    resolve_workers,
+)
+from repro.workloads import EpWorkload, IsWorkload
+
+SEED = 7
+
+
+def small_ep():
+    return EpWorkload(total_ops=2e7, chunks=4)
+
+
+def small_is():
+    return IsWorkload(total_keys=2**15, iterations=2, ops_per_key=16)
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("make_workload", [small_ep, small_is])
+    def test_matrix_identical_to_serial(self, make_workload, tmp_path):
+        """parallel(max_workers=4) == serial, byte for byte, at 2-4 nodes."""
+        specs = paper_policies()[:3]
+        serial = ExperimentRunner(seed=SEED).run_matrix(
+            make_workload(), (2, 4), specs
+        )
+        parallel = ParallelRunner(
+            seed=SEED, max_workers=4, cache_dir=tmp_path / "cache"
+        ).run_matrix(make_workload(), (2, 4), specs)
+        assert parallel == serial
+
+    def test_single_worker_is_serial_path(self, tmp_path):
+        runner = ParallelRunner(
+            seed=SEED, max_workers=1, cache_dir=tmp_path / "cache"
+        )
+        rows = runner.run_matrix(make_workload := small_ep(), (2,), paper_policies()[:2])
+        assert rows == ExperimentRunner(seed=SEED).run_matrix(
+            small_ep(), (2,), paper_policies()[:2]
+        )
+        # Everything (ground truth + 2 specs) ran in-process.
+        assert {source for _, _, _, source in runner.last_batch_report} == {"serial"}
+        assert make_workload.name == "EP"
+
+    def test_results_in_request_order(self, tmp_path):
+        runner = ParallelRunner(seed=SEED, max_workers=4, cache_dir=tmp_path / "c")
+        specs = paper_policies()[:3]
+        requests = [(small_ep(), size, spec) for size in (2, 3, 4) for spec in specs]
+        records = runner.run_many(requests)
+        assert [(r.size, r.policy_label) for r in records] == [
+            (size, spec.label) for _, size, spec in requests
+        ]
+
+
+class TestEnvironmentOverrides:
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " 0 "])
+    def test_repro_parallel_forces_serial(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PARALLEL", value)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(8) == 1
+
+    def test_repro_parallel_pins_pool_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(16) == 3
+
+    def test_unset_defers_to_max_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_workers(5) == 5
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_repro_parallel_serial_still_identical(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        runner = ParallelRunner(seed=SEED, cache_dir=tmp_path / "c")
+        rows = runner.run_matrix(small_ep(), (2,), paper_policies()[:1])
+        assert rows == ExperimentRunner(seed=SEED).run_matrix(
+            small_ep(), (2,), paper_policies()[:1]
+        )
+        assert {s for _, _, _, s in runner.last_batch_report} == {"serial"}
+
+    def test_repro_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert DiskResultCache().root == tmp_path / "envcache"
+
+
+class TestDiskCache:
+    def _payload_and_record(self, tmp_path):
+        runner = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        spec = paper_policies()[0]
+        record = runner.run_spec(small_ep(), 2, spec)
+        payload = runner._spec_for(small_ep(), 2, spec).key_payload()
+        return runner, payload, record
+
+    def test_record_json_round_trip(self, tmp_path):
+        _, _, record = self._payload_and_record(tmp_path)
+        assert record_from_json(json.loads(json.dumps(record_to_json(record)))) == record
+
+    def test_second_run_hits_cache_with_identical_record(self, tmp_path):
+        _, payload, record = self._payload_and_record(tmp_path)
+        warm = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        assert warm.run_spec(small_ep(), 2, paper_policies()[0]) == record
+        assert warm.cache is not None
+        assert (warm.cache.hits, warm.cache.misses) == (1, 0)
+        assert warm.cache.get(payload) == record
+
+    def test_poisoned_entry_is_ignored_and_recomputed(self, tmp_path):
+        runner, payload, record = self._payload_and_record(tmp_path)
+        assert runner.cache is not None
+        path = runner.cache._path(payload)
+        assert path.exists()
+
+        # Poison the stored record: a trusted read would return garbage.
+        entry = json.loads(path.read_text())
+        entry["record"]["metric"] = -1.0
+        entry["key"]["size"] = 999  # key no longer matches the payload
+        path.write_text(json.dumps(entry))
+
+        fresh = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        recomputed = fresh.run_spec(small_ep(), 2, paper_policies()[0])
+        assert recomputed == record  # not the poisoned value
+        assert fresh.cache is not None and fresh.cache.misses == 1
+        # ... and the bad entry was overwritten with a good one.
+        assert json.loads(path.read_text())["record"]["metric"] == record.metric
+
+    def test_version_bump_invalidates(self, tmp_path):
+        runner, payload, record = self._payload_and_record(tmp_path)
+        path = runner.cache._path(payload)
+        entry = json.loads(path.read_text())
+        entry["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(entry))
+        fresh = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        assert fresh.run_spec(small_ep(), 2, paper_policies()[0]) == record
+        assert fresh.cache.misses == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        runner, payload, record = self._payload_and_record(tmp_path)
+        path = runner.cache._path(payload)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        fresh = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        assert fresh.run_spec(small_ep(), 2, paper_policies()[0]) == record
+
+    def test_key_separates_seed_and_size(self, tmp_path):
+        settings = RunnerSettings(seed=1)
+        spec = paper_policies()[0]
+        base = RunSpec(small_ep(), 2, spec.build(), spec.label, settings)
+        other_seed = RunSpec(
+            small_ep(), 2, spec.build(), spec.label, RunnerSettings(seed=2)
+        )
+        other_size = RunSpec(small_ep(), 4, spec.build(), spec.label, settings)
+        keys = {
+            DiskResultCache.key_of(s.key_payload())
+            for s in (base, other_seed, other_size)
+        }
+        assert len(keys) == 3
+
+    def test_trace_runners_do_not_cache(self, tmp_path):
+        runner = ParallelRunner(
+            seed=SEED, record_traffic=True, cache_dir=tmp_path / "c"
+        )
+        assert runner.cache is None
+
+    def test_batch_mixes_cache_hits_and_new_runs(self, tmp_path):
+        specs = paper_policies()[:3]
+        cold = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        cold.run_matrix(small_ep(), (2,), specs[:2])
+        warm = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        rows = warm.run_matrix(small_ep(), (2,), specs)
+        sources = {label: src for label, _, _, src in warm.last_batch_report}
+        assert sources["1"] == "cache"  # ground truth reused
+        assert sources[specs[0].label] == "cache"
+        assert sources[specs[2].label] == "serial"  # the new point computed
+        assert rows == ExperimentRunner(seed=SEED).run_matrix(
+            small_ep(), (2,), specs
+        )
+
+
+class TestPoolRobustness:
+    def test_unpicklable_settings_fall_back_to_serial(self, tmp_path):
+        """A lambda latency factory cannot cross the process boundary."""
+        from repro.network.latency import PAPER_NETWORK
+
+        runner = ParallelRunner(
+            seed=SEED,
+            latency_factory=lambda size: PAPER_NETWORK(size),
+            max_workers=2,
+            use_cache=False,
+        )
+        rows = runner.run_matrix(small_ep(), (2,), paper_policies()[:2])
+        expected = ExperimentRunner(
+            seed=SEED, latency_factory=lambda size: PAPER_NETWORK(size)
+        ).run_matrix(small_ep(), (2,), paper_policies()[:2])
+        assert rows == expected
+        assert any(
+            source == "serial-fallback"
+            for _, _, _, source in runner.last_batch_report
+        )
