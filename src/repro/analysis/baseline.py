@@ -1,0 +1,128 @@
+"""Checked-in suppression baseline for simlint.
+
+A baseline entry acknowledges one *documented, justified* finding so the
+lint can gate CI at zero new findings without forcing a fix of record.
+The format is line-oriented and diff-friendly::
+
+    # comment lines and blanks are ignored
+    SIM004 src/repro/core/cluster.py 3f2a9c41e7d0  # why this one is fine
+
+Each entry carries a *fingerprint* — a short hash over the rule, the
+file path, and the normalized source line, plus an occurrence index for
+repeated identical lines — so entries survive unrelated edits that only
+shift line numbers, but go stale (and are reported as such) when the
+flagged code itself changes or disappears.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.rules import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression: (rule, path, fingerprint) plus its justification."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    comment: str = ""
+
+    def render(self) -> str:
+        line = f"{self.rule} {self.path} {self.fingerprint}"
+        if self.comment:
+            line += f"  # {self.comment}"
+        return line
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    The fingerprint hashes (rule, path, stripped source line, occurrence
+    index among identical lines in the same file), so it is independent
+    of absolute line numbers.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    pairs: list[tuple[Finding, str]] = []
+    for finding in findings:
+        identity = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen.get(identity, 0)
+        seen[identity] = occurrence + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}\0{finding.path}\0{finding.snippet}\0{occurrence}".encode()
+        ).hexdigest()[:12]
+        pairs.append((finding, digest))
+    return pairs
+
+
+def parse_baseline(text: str, source: str = "<baseline>") -> list[BaselineEntry]:
+    """Parse baseline *text*; raises ValueError on malformed lines."""
+    entries: list[BaselineEntry] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        body, _, comment = raw.partition("#")
+        body = body.strip()
+        if not body:
+            continue
+        fields = body.split()
+        if len(fields) != 3:
+            raise ValueError(
+                f"{source}:{number}: expected 'RULE path fingerprint', got {raw!r}"
+            )
+        rule, path, fingerprint = fields
+        entries.append(BaselineEntry(rule, path, fingerprint, comment.strip()))
+    return entries
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    return parse_baseline(path.read_text(), source=str(path))
+
+
+def write_baseline(path: Path, findings: Iterable[Finding], comment: str) -> int:
+    """Write a baseline acknowledging *findings*; returns the entry count.
+
+    Every generated entry carries *comment* — callers should hand-edit the
+    file afterwards to justify each suppression individually.
+    """
+    pairs = fingerprint_findings(findings)
+    lines = [
+        "# simlint baseline — each entry suppresses exactly one acknowledged",
+        "# finding; keep a justification on every line.  Regenerate with",
+        "#   python -m repro.analysis.simlint --write-baseline <paths>",
+        "",
+    ]
+    lines += [
+        BaselineEntry(f.rule, f.path, digest, comment).render()
+        for f, digest in pairs
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return len(pairs)
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split *findings* into (active, suppressed); also return stale entries.
+
+    A baseline entry suppresses at most one finding (entries for repeated
+    identical lines are distinct via the occurrence index).  Entries that
+    match nothing are *stale* — the code they acknowledged changed — and
+    should be deleted from the baseline file.
+    """
+    wanted = {(e.rule, e.path, e.fingerprint): e for e in entries}
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[tuple[str, str, str]] = set()
+    for finding, digest in fingerprint_findings(findings):
+        key = (finding.rule, finding.path, digest)
+        if key in wanted:
+            suppressed.append(finding)
+            used.add(key)
+        else:
+            active.append(finding)
+    stale = [entry for key, entry in wanted.items() if key not in used]
+    return active, suppressed, stale

@@ -1,0 +1,229 @@
+"""simlint: the PDES determinism lint, runnable as a module.
+
+Usage::
+
+    python -m repro.analysis.simlint src tests
+    python -m repro.analysis.simlint --format json src
+    python -m repro.analysis.simlint --write-baseline src tests
+
+Walks the given files/directories (default: ``src tests``), applies the
+rules of :mod:`repro.analysis.rules` with zone scoping, subtracts the
+checked-in baseline (``simlint.baseline`` next to the current working
+directory by default), and reports the rest.  Exit status is 0 when no
+active findings remain, 1 when findings (or, with ``--strict``, stale
+baseline entries) exist, and 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import RULES, Finding, lint_source, zone_of
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "simlint.baseline"
+
+#: Schema version of the ``--format json`` output.
+JSON_SCHEMA_VERSION = 1
+
+
+def iter_python_files(paths: Sequence[str]) -> list[Path]:
+    """Every ``.py`` file under *paths*, deterministically ordered."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    # Dedup while preserving the sorted-walk order.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file in files:
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def display_path(path: Path) -> str:
+    """Repo-relative posix-style path used in reports and fingerprints."""
+    try:
+        relative = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        relative = path
+    return relative.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[set[str]] = None
+) -> list[Finding]:
+    """Lint every Python file under *paths*; returns sorted findings."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        file_findings = lint_source(source, display_path(file))
+        if rules is not None:
+            file_findings = [f for f in file_findings if f.rule in rules]
+        findings.extend(file_findings)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _json_report(
+    active: list[Finding],
+    suppressed: list[Finding],
+    stale: list,
+) -> dict:
+    def encode(findings: list[Finding], is_suppressed: bool) -> list[dict]:
+        return [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "snippet": finding.snippet,
+                "zone": zone_of(finding.path),
+                "fingerprint": digest,
+                "suppressed": is_suppressed,
+            }
+            for finding, digest in fingerprint_findings(findings)
+        ]
+
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "rules": RULES,
+        "findings": encode(active, False) + encode(suppressed, True),
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "fingerprint": e.fingerprint}
+            for e in stale
+        ],
+        "counts": {
+            "active": len(active),
+            "suppressed": len(suppressed),
+            "stale_baseline": len(stale),
+        },
+    }
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.simlint",
+        description="PDES determinism lint (rules SIM001-SIM006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"suppression file (default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="acknowledge all current findings into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat stale baseline entries as failures",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    rules: Optional[set[str]] = None
+    if args.rules:
+        rules = {code.strip().upper() for code in args.rules.split(",") if code.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, findings, comment="TODO: justify")
+        print(f"wrote {count} entries to {baseline_path}")
+        return 0
+
+    entries = []
+    if baseline_path.exists():
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+    active, suppressed, stale = apply_baseline(findings, entries)
+
+    if args.format == "json":
+        json.dump(_json_report(active, suppressed, stale), sys.stdout, indent=2)
+        print()
+    else:
+        for finding in active:
+            print(finding.render())
+            if finding.snippet:
+                print(f"    {finding.snippet}")
+        for entry in stale:
+            print(
+                f"stale baseline entry (code changed or fixed): {entry.render()}",
+                file=sys.stderr,
+            )
+        summary = (
+            f"simlint: {len(active)} finding(s), {len(suppressed)} suppressed, "
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+        )
+        print(summary, file=sys.stderr)
+
+    if active:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.analysis.invariants import CausalitySanitizer, check_enabled
 from repro.core.barrier import BarrierModel
 from repro.core.quantum import QuantumPolicy, QuantumStats
 from repro.core.stats import BucketTimeline, HostCostBreakdown
@@ -75,6 +76,9 @@ class ClusterConfig:
         chunk: maximum quanta processed per vectorised fast-forward batch.
         sampling: if set, node simulators follow this detailed/functional
             sampling schedule (the paper's future-work combination).
+        check: run the causality sanitizer (None defers to ``REPRO_CHECK``
+            in the environment).  Checked runs are bit-identical to
+            unchecked ones; they just raise on the first broken invariant.
     """
 
     seed: int = 42
@@ -86,6 +90,7 @@ class ClusterConfig:
     fast_forward_min_quanta: int = 4
     chunk: int = 1 << 16
     sampling: Optional[SamplingSchedule] = None
+    check: Optional[bool] = None
 
 
 @dataclass
@@ -223,6 +228,10 @@ class ClusterSimulator:
                 for node in nodes
             ]
         controller.bind(self)
+        self.sanitizer: Optional[CausalitySanitizer] = None
+        if check_enabled(self.config.check):
+            self.sanitizer = CausalitySanitizer.for_cluster(self)
+        controller.sanitizer = self.sanitizer
         self._clocks = [_NodeClock() for _ in nodes]
         for node in nodes:
             node.emit_hook = self._on_emit
@@ -270,6 +279,7 @@ class ClusterSimulator:
         nodes = self.nodes
         controller = self.controller
         policy = self.policy
+        sanitizer = self.sanitizer
         num_nodes = len(nodes)
         barrier_cost = config.barrier.overhead(num_nodes)
 
@@ -304,6 +314,8 @@ class ClusterSimulator:
             window = policy.window(q_state)
             start, end = now, now + window
             self._window = (start, end)
+            if sanitizer is not None:
+                sanitizer.on_quantum_start(start, end)
             self._host_window_start = host
             for node, clock, model in zip(nodes, self._clocks, self.host_models):
                 busy_slowdown, idle_slowdown = model.slowdown_pair(start)
@@ -324,6 +336,8 @@ class ClusterSimulator:
             self._in_window = False
 
             np_count = controller.end_quantum()
+            if sanitizer is not None:
+                sanitizer.on_quantum_end(start, end, np_count)
             if self._done():
                 # The run completed inside this quantum: the simulation stops
                 # the moment the last application event is processed, so the
@@ -449,6 +463,7 @@ class ClusterSimulator:
         per-quantum slowdown draws model.
         """
         activities = [node.activity for node in self.nodes]
+        sanitizer = self.sanitizer
         while True:
             lengths, next_state = self.policy.idle_chunk(
                 q_state, horizon - now, self.config.chunk
@@ -469,6 +484,10 @@ class ClusterSimulator:
             breakdown.add(node_cost, barrier_total)
             quantum_stats.record_lengths(lengths)
             self.controller.note_idle_quanta(count)
+            if sanitizer is not None:
+                sanitizer.on_fast_forward(
+                    now, span, count, horizon, self.controller.next_held_time()
+                )
             if timeline is not None:
                 timeline.add_span(now, now + span, node_cost + barrier_total)
             now += span
@@ -504,7 +523,7 @@ class ClusterSimulator:
         quantum_stats: QuantumStats,
         timeline: Optional[BucketTimeline],
     ) -> RunResult:
-        return RunResult(
+        result = RunResult(
             sim_time=now,
             host_time=host,
             completed=completed,
@@ -516,3 +535,6 @@ class ClusterSimulator:
             app_finish_times=[node.app_finish_time for node in self.nodes],
             timeline=timeline,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end(result)
+        return result

@@ -67,6 +67,13 @@ def _parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="result cache location (default: .repro_cache or $REPRO_CACHE_DIR)",
     )
+    common.add_argument(
+        "--check",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="run the causality sanitizer on every simulation "
+        "(REPRO_CHECK=1 does the same; results are bit-identical either way)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-cluster",
@@ -141,12 +148,15 @@ def _main(argv: list[str] | None = None) -> int:
     args.jobs = getattr(args, "jobs", None)
     args.no_cache = getattr(args, "no_cache", False)
     args.cache_dir = getattr(args, "cache_dir", None)
+    # None (not False) defers to the REPRO_CHECK environment variable.
+    args.check = True if getattr(args, "check", False) else None
     started = time.time()
     runner = ParallelRunner(
         seed=args.seed,
         max_workers=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        check=args.check,
         progress=True,
     )
 
@@ -179,6 +189,7 @@ def _main(argv: list[str] | None = None) -> int:
                 record_traffic=record_traffic,
                 timeline_bucket=timeline_bucket,
                 max_workers=args.jobs,
+                check=args.check,
                 progress=True,
             ),
             config,
@@ -211,6 +222,7 @@ def _main(argv: list[str] | None = None) -> int:
                 max_workers=args.jobs,
                 use_cache=not args.no_cache,
                 cache_dir=args.cache_dir,
+                check=args.check,
             )
             workload = StreamWorkload()
             transport_runner.ground_truth(workload, 2)
@@ -249,7 +261,9 @@ def _main(argv: list[str] | None = None) -> int:
                 nodes = [SimulatedNode(i, app)
                          for i, app in enumerate(workload.build_apps(8))]
                 controller = NetworkController(8, PAPER_NETWORK(8))
-                config = ClusterConfig(seed=args.seed, sampling=sampling_schedule)
+                config = ClusterConfig(
+                    seed=args.seed, sampling=sampling_schedule, check=args.check
+                )
                 results[(sync_label, sample_label)] = ClusterSimulator(
                     nodes, controller, policy_factory(), config).run()
         baseline = results[("fixed 1us", "detailed")]

@@ -73,6 +73,7 @@ class ExperimentRunner:
         timeline_bucket: Optional[SimTime] = None,
         record_traffic: bool = False,
         transport: Optional[TransportConfig] = None,
+        check: Optional[bool] = None,
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -81,6 +82,7 @@ class ExperimentRunner:
         self.timeline_bucket = timeline_bucket
         self.record_traffic = record_traffic
         self.transport = transport
+        self.check = check
         self._ground_truth: dict[tuple[str, int], ExperimentRecord] = {}
 
     # ------------------------------------------------------------------ #
@@ -110,6 +112,7 @@ class ExperimentRunner:
             host_params=self.host_params,
             barrier=self.barrier,
             timeline_bucket=self.timeline_bucket,
+            check=self.check,
         )
         simulator = ClusterSimulator(nodes, controller, policy, config)
         result = simulator.run()

@@ -124,6 +124,9 @@ class RunnerSettings:
     timeline_bucket: Optional[SimTime] = None
     record_traffic: bool = False
     transport: Optional[TransportConfig] = None
+    # Deliberately absent from key_fragment(): a checked run is bit-identical
+    # to an unchecked one, so sanitized and plain runs share cache entries.
+    check: Optional[bool] = None
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -134,6 +137,7 @@ class RunnerSettings:
             timeline_bucket=self.timeline_bucket,
             record_traffic=self.record_traffic,
             transport=self.transport,
+            check=self.check,
         )
 
     @property
@@ -390,6 +394,7 @@ class ParallelRunner(ExperimentRunner):
         timeline_bucket: Optional[SimTime] = None,
         record_traffic: bool = False,
         transport: Optional[TransportConfig] = None,
+        check: Optional[bool] = None,
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -404,6 +409,7 @@ class ParallelRunner(ExperimentRunner):
             timeline_bucket=timeline_bucket,
             record_traffic=record_traffic,
             transport=transport,
+            check=check,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -413,6 +419,7 @@ class ParallelRunner(ExperimentRunner):
             timeline_bucket=timeline_bucket,
             record_traffic=record_traffic,
             transport=transport,
+            check=check,
         )
         self.max_workers = max_workers
         self.progress = progress

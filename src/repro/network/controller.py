@@ -26,11 +26,14 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Protocol
 
 from repro.engine.units import SimTime
 from repro.network.latency import LatencyModel
 from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - the sanitizer imports this module
+    from repro.analysis.invariants import CausalitySanitizer
 
 
 class ClusterState(Protocol):
@@ -123,6 +126,9 @@ class NetworkController:
         self.trace = trace
         self.stats = ControllerStats()
         self.packets_this_quantum = 0
+        #: Causality sanitizer observing every delivery decision; set by the
+        #: driver when checking is enabled (see ``repro.analysis.invariants``).
+        self.sanitizer: Optional["CausalitySanitizer"] = None
         self._future: list[tuple[SimTime, int, DeliveryDecision]] = []
         self._future_seq = 0
 
@@ -219,6 +225,8 @@ class NetworkController:
         stats.total_delay_error += error
         if error > stats.max_delay_error:
             stats.max_delay_error = error
+        if self.sanitizer is not None:
+            self.sanitizer.on_decision(decision)
         if self.trace is not None:
             packet = decision.packet
             self.trace(packet.send_time, packet.src, packet.dst, packet.size_bytes)

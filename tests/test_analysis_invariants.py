@@ -1,0 +1,505 @@
+"""Tests for the runtime causality sanitizer (repro.analysis.invariants)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import pytest
+
+from repro.analysis.invariants import (
+    CHECK_ENV,
+    CausalitySanitizer,
+    InvariantViolation,
+    check_enabled,
+)
+from repro.core.cluster import ClusterConfig, ClusterSimulator, RunResult
+from repro.core.quantum import FixedQuantumPolicy, QuantumStats
+from repro.core.stats import HostCostBreakdown
+from repro.engine.units import MICROSECOND, SimTime
+from repro.network.controller import (
+    ControllerStats,
+    DeliveryDecision,
+    DeliveryKind,
+    NetworkController,
+)
+from repro.network.latency import PAPER_NETWORK
+from repro.network.packet import Packet
+from repro.node.node import SimulatedNode
+from repro.workloads.synthetic import PingPongWorkload
+
+# --------------------------------------------------------------------- #
+# The enable switch
+# --------------------------------------------------------------------- #
+
+
+def test_check_enabled_explicit_wins(monkeypatch) -> None:
+    monkeypatch.setenv(CHECK_ENV, "1")
+    assert check_enabled(False) is False
+    monkeypatch.delenv(CHECK_ENV)
+    assert check_enabled(True) is True
+
+
+@pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+def test_check_enabled_truthy_env(monkeypatch, value: str) -> None:
+    monkeypatch.setenv(CHECK_ENV, value)
+    assert check_enabled(None) is True
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "2"])
+def test_check_enabled_falsy_env(monkeypatch, value: str) -> None:
+    monkeypatch.setenv(CHECK_ENV, value)
+    assert check_enabled(None) is False
+
+
+def test_check_enabled_default_off(monkeypatch) -> None:
+    monkeypatch.delenv(CHECK_ENV, raising=False)
+    assert check_enabled() is False
+
+
+# --------------------------------------------------------------------- #
+# Hook-level fixtures
+# --------------------------------------------------------------------- #
+
+MIN_Q = 1_000
+MAX_Q = 100_000
+MIN_LAT = 1_000
+
+
+def make_sanitizer(
+    min_q: SimTime = MIN_Q, max_q: SimTime = MAX_Q, min_lat: SimTime = MIN_LAT
+) -> CausalitySanitizer:
+    return CausalitySanitizer(min_quantum=min_q, max_quantum=max_q, min_latency=min_lat)
+
+
+def decision(
+    kind: DeliveryKind,
+    send: SimTime = 0,
+    due: SimTime = 5_000,
+    deliver: Optional[SimTime] = None,
+    straggler: bool = False,
+) -> DeliveryDecision:
+    packet = Packet(src=0, dst=1, size_bytes=100, send_time=send)
+    packet.due_time = due
+    packet.deliver_time = due if deliver is None else deliver
+    packet.straggler = straggler
+    return DeliveryDecision(packet, kind, packet.deliver_time)
+
+
+def violation(excinfo) -> str:
+    return excinfo.value.invariant
+
+
+def test_constructor_validates_bounds() -> None:
+    with pytest.raises(ValueError):
+        CausalitySanitizer(min_quantum=0, max_quantum=10, min_latency=1)
+    with pytest.raises(ValueError):
+        CausalitySanitizer(min_quantum=10, max_quantum=5, min_latency=1)
+    with pytest.raises(ValueError):
+        CausalitySanitizer(min_quantum=1, max_quantum=10, min_latency=0)
+
+
+def test_ground_truth_flag_follows_conservative_bound() -> None:
+    assert make_sanitizer(max_q=MIN_LAT).ground_truth is True
+    assert make_sanitizer(max_q=MIN_LAT + 1).ground_truth is False
+
+
+# -- quantum window checks --------------------------------------------- #
+
+
+def test_quantum_start_accepts_contiguous_windows() -> None:
+    sanitizer = make_sanitizer()
+    sanitizer.on_quantum_start(0, 10_000)
+    sanitizer.on_quantum_end(0, 10_000, 0)
+    sanitizer.on_quantum_start(10_000, 20_000)
+    assert sanitizer.quantum_index == 1
+
+
+def test_quantum_start_rejects_clock_regression() -> None:
+    sanitizer = make_sanitizer()
+    sanitizer.on_quantum_start(0, 10_000)
+    sanitizer.on_quantum_end(0, 10_000, 0)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_quantum_start(5_000, 15_000)
+    assert violation(excinfo) == "clock-regression"
+    assert excinfo.value.quantum_index == 1
+
+
+def test_quantum_start_rejects_time_gap() -> None:
+    sanitizer = make_sanitizer()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_quantum_start(5_000, 15_000)
+    assert violation(excinfo) == "time-gap"
+
+
+@pytest.mark.parametrize("length", [MIN_Q - 1, MAX_Q + 1])
+def test_quantum_start_rejects_out_of_clamp_window(length: SimTime) -> None:
+    sanitizer = make_sanitizer()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_quantum_start(0, length)
+    assert violation(excinfo) == "quantum-clamp"
+
+
+def test_quantum_end_rejects_negative_np() -> None:
+    sanitizer = make_sanitizer()
+    sanitizer.on_quantum_start(0, 10_000)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_quantum_end(0, 10_000, -1)
+    assert violation(excinfo) == "packet-accounting"
+
+
+# -- delivery checks ---------------------------------------------------- #
+
+
+def open_window(sanitizer: CausalitySanitizer) -> None:
+    sanitizer.on_quantum_start(0, 10_000)
+
+
+def test_decision_exact_now_valid() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    sanitizer.on_decision(decision(DeliveryKind.EXACT_NOW, due=5_000))
+    assert sanitizer._counts[DeliveryKind.EXACT_NOW] == 1
+
+
+def test_decision_straggler_now_valid() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    sanitizer.on_decision(
+        decision(DeliveryKind.STRAGGLER_NOW, due=2_000, deliver=3_000, straggler=True)
+    )
+
+
+def test_decision_rejects_latency_underrun() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(decision(DeliveryKind.EXACT_NOW, send=0, due=500))
+    assert violation(excinfo) == "latency-underrun"
+    assert excinfo.value.node == 1
+
+
+def test_decision_rejects_early_delivery() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(DeliveryKind.EXACT_NOW, due=5_000, deliver=4_000)
+        )
+    assert violation(excinfo) == "early-delivery"
+
+
+def test_decision_rejects_unaccounted_late_delivery() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(DeliveryKind.EXACT_NOW, due=2_000, deliver=3_000)
+        )
+    assert violation(excinfo) == "late-delivery"
+
+
+def test_decision_rejects_exact_flagged_as_straggler() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(DeliveryKind.EXACT_NOW, due=5_000, straggler=True)
+        )
+    assert violation(excinfo) == "straggler-accounting"
+
+
+def test_decision_rejects_unflagged_straggler() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(DeliveryKind.STRAGGLER_NOW, due=2_000, deliver=3_000)
+        )
+    assert violation(excinfo) == "straggler-accounting"
+
+
+def test_decision_rejects_exact_now_past_barrier() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(decision(DeliveryKind.EXACT_NOW, due=20_000))
+    assert violation(excinfo) == "window-escape"
+
+
+def test_decision_rejects_straggler_outside_window() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(
+                DeliveryKind.STRAGGLER_NOW, due=2_000, deliver=10_000, straggler=True
+            )
+        )
+    assert violation(excinfo) == "window-escape"
+
+
+def test_decision_rejects_next_quantum_not_at_boundary() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_decision(
+            decision(
+                DeliveryKind.STRAGGLER_NEXT_QUANTUM,
+                due=2_000,
+                deliver=9_000,
+                straggler=True,
+            )
+        )
+    assert violation(excinfo) == "window-escape"
+
+
+# -- fast-forward checks ------------------------------------------------ #
+
+
+def test_fast_forward_valid_span_advances_counters() -> None:
+    sanitizer = make_sanitizer()
+    sanitizer.on_fast_forward(0, 50_000, 5, horizon=60_000, next_held=55_000)
+    assert sanitizer.quantum_index == 5
+    sanitizer.on_quantum_start(50_000, 60_000)  # contiguous continuation
+
+
+def test_fast_forward_rejects_discontinuous_start() -> None:
+    sanitizer = make_sanitizer()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_fast_forward(10_000, 50_000, 5, horizon=100_000, next_held=None)
+    assert violation(excinfo) == "clock-regression"
+
+
+def test_fast_forward_rejects_overrunning_horizon() -> None:
+    sanitizer = make_sanitizer()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_fast_forward(0, 50_000, 5, horizon=40_000, next_held=None)
+    assert violation(excinfo) == "fast-forward-overrun"
+
+
+def test_fast_forward_rejects_skipping_a_held_frame() -> None:
+    sanitizer = make_sanitizer()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_fast_forward(0, 50_000, 5, horizon=60_000, next_held=30_000)
+    assert violation(excinfo) == "fast-forward-overrun"
+
+
+# -- run-end accounting checks ------------------------------------------ #
+
+
+def fake_result(
+    stats: ControllerStats, quantum_stats: Optional[QuantumStats] = None
+) -> RunResult:
+    return RunResult(
+        sim_time=0,
+        host_time=0.0,
+        completed=True,
+        breakdown=HostCostBreakdown(),
+        quantum_stats=quantum_stats or QuantumStats(),
+        controller_stats=stats,
+        node_stats=[],
+        app_results=[],
+        app_finish_times=[],
+        timeline=None,
+    )
+
+
+def test_run_end_accepts_consistent_stats() -> None:
+    sanitizer = make_sanitizer()
+    open_window(sanitizer)
+    sanitizer.on_decision(decision(DeliveryKind.EXACT_NOW, due=5_000))
+    sanitizer.on_quantum_end(0, 10_000, 1)
+    quantum_stats = QuantumStats()
+    quantum_stats.record(10_000)
+    stats = ControllerStats(
+        packets_routed=1, exact_now=1, quanta_seen=1, busy_quanta=1
+    )
+    sanitizer.on_run_end(fake_result(stats, quantum_stats))
+
+
+def test_run_end_rejects_per_kind_sum_mismatch() -> None:
+    sanitizer = make_sanitizer()
+    stats = ControllerStats(packets_routed=3, exact_now=1)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats))
+    assert violation(excinfo) == "packet-accounting"
+
+
+def test_run_end_rejects_counter_drift_from_observed_decisions() -> None:
+    # Internally-consistent controller stats that do not match what the
+    # sanitizer actually witnessed: a dropped/duplicated accounting call.
+    sanitizer = make_sanitizer()
+    stats = ControllerStats(packets_routed=1, exact_now=1)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats))
+    assert violation(excinfo) == "packet-accounting"
+
+
+def test_run_end_rejects_quanta_mismatch() -> None:
+    sanitizer = make_sanitizer()
+    stats = ControllerStats(quanta_seen=2)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats))  # QuantumStats says 0
+    assert violation(excinfo) == "quantum-accounting"
+
+
+def test_run_end_rejects_busy_exceeding_total() -> None:
+    sanitizer = make_sanitizer()
+    quantum_stats = QuantumStats()
+    quantum_stats.record(10_000)
+    stats = ControllerStats(quanta_seen=1, busy_quanta=2)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats, quantum_stats))
+    assert violation(excinfo) == "quantum-accounting"
+
+
+def test_run_end_rejects_delay_error_without_stragglers() -> None:
+    sanitizer = make_sanitizer()
+    stats = ControllerStats(total_delay_error=7, max_delay_error=7)
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats))
+    assert violation(excinfo) == "straggler-accounting"
+
+
+def test_run_end_rejects_ground_truth_with_stragglers() -> None:
+    sanitizer = make_sanitizer(max_q=MIN_LAT)  # Q <= T: ground truth
+    assert sanitizer.ground_truth
+    sanitizer._counts[DeliveryKind.STRAGGLER_NOW] = 1
+    stats = ControllerStats(
+        packets_routed=1,
+        stragglers_now=1,
+        total_delay_error=5,
+        max_delay_error=5,
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.on_run_end(fake_result(stats))
+    assert violation(excinfo) == "ground-truth-straggler"
+
+
+def test_violation_message_carries_context() -> None:
+    err = InvariantViolation(
+        "early-delivery", "bad", node=3, sim_time=2_000, quantum_index=7
+    )
+    text = str(err)
+    assert "[early-delivery]" in text
+    assert "quantum #7" in text
+    assert "node 3" in text
+    assert err.node == 3
+    assert err.sim_time == 2_000
+    assert err.quantum_index == 7
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: real cluster runs
+# --------------------------------------------------------------------- #
+
+
+def build_cluster(
+    policy_factory,
+    check: Optional[bool],
+    controller_cls=NetworkController,
+    size: int = 4,
+) -> ClusterSimulator:
+    workload = PingPongWorkload(rounds=10)
+    nodes = [
+        SimulatedNode(i, app) for i, app in enumerate(workload.build_apps(size))
+    ]
+    controller = controller_cls(size, PAPER_NETWORK(size))
+    config = ClusterConfig(seed=7, check=check)
+    return ClusterSimulator(nodes, controller, policy_factory(), config)
+
+
+def test_sanitizer_off_by_default(monkeypatch) -> None:
+    monkeypatch.delenv(CHECK_ENV, raising=False)
+    simulator = build_cluster(lambda: FixedQuantumPolicy(MICROSECOND), check=None)
+    assert simulator.sanitizer is None
+    assert simulator.controller.sanitizer is None
+
+
+def test_sanitizer_enabled_via_environment(monkeypatch) -> None:
+    monkeypatch.setenv(CHECK_ENV, "1")
+    simulator = build_cluster(lambda: FixedQuantumPolicy(MICROSECOND), check=None)
+    assert simulator.sanitizer is not None
+    assert simulator.controller.sanitizer is simulator.sanitizer
+
+
+@pytest.mark.parametrize(
+    "quantum", [MICROSECOND, 100 * MICROSECOND], ids=["ground-truth", "straggling"]
+)
+def test_checked_run_is_bit_identical_and_clean(quantum: SimTime) -> None:
+    policy = lambda: FixedQuantumPolicy(quantum)  # noqa: E731
+    plain = build_cluster(policy, check=False).run()
+    checked_sim = build_cluster(policy, check=True)
+    checked = checked_sim.run()
+    assert checked_sim.sanitizer is not None
+    assert checked_sim.sanitizer.violations_checked > 0
+    assert dataclasses.asdict(plain) == dataclasses.asdict(checked)
+
+
+def test_tampered_controller_is_caught() -> None:
+    class EarlyController(NetworkController):
+        """Delivers every frame one nanosecond early: a causality bug."""
+
+        def _decide(self, packet, dst, sender_host_time):
+            verdict = super()._decide(packet, dst, sender_host_time)
+            verdict.packet.deliver_time -= 1
+            return DeliveryDecision(verdict.packet, verdict.kind, verdict.deliver_time - 1)
+
+    simulator = build_cluster(
+        lambda: FixedQuantumPolicy(100 * MICROSECOND),
+        check=True,
+        controller_cls=EarlyController,
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        simulator.run()
+    assert excinfo.value.invariant == "early-delivery"
+
+
+def test_desynced_packet_record_is_caught() -> None:
+    class DriftingController(NetworkController):
+        """Corrupts the packet's deliver_time record without changing what
+        the engine enacts — delay-error stats would silently diverge."""
+
+        def _decide(self, packet, dst, sender_host_time):
+            verdict = super()._decide(packet, dst, sender_host_time)
+            verdict.packet.deliver_time -= 1
+            return verdict
+
+    simulator = build_cluster(
+        lambda: FixedQuantumPolicy(100 * MICROSECOND),
+        check=True,
+        controller_cls=DriftingController,
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        simulator.run()
+    assert excinfo.value.invariant == "record-drift"
+
+
+def test_rogue_policy_quantum_clamp_is_caught() -> None:
+    class RoguePolicy(FixedQuantumPolicy):
+        """Executes windows twice as long as its declared maximum."""
+
+        def window(self, quantum: float) -> SimTime:
+            return self.max_quantum * 2
+
+    simulator = build_cluster(lambda: RoguePolicy(MICROSECOND), check=True)
+    with pytest.raises(InvariantViolation) as excinfo:
+        simulator.run()
+    assert excinfo.value.invariant == "quantum-clamp"
+
+
+def test_unchecked_run_tolerates_tampered_controller() -> None:
+    # Sanity check of the off switch: the same defect goes unnoticed when
+    # checking is disabled (which is exactly why the sanitizer exists).
+    class LateFlagController(NetworkController):
+        def _account(self, decision):
+            decision.packet.straggler = False  # corrupt the flag silently
+            super()._account(decision)
+
+    simulator = build_cluster(
+        lambda: FixedQuantumPolicy(100 * MICROSECOND),
+        check=False,
+        controller_cls=LateFlagController,
+    )
+    simulator.run()  # completes without raising

@@ -19,7 +19,7 @@ import os
 
 import pytest
 
-from repro.harness.configs import PolicySpec, paper_policies
+from repro.harness.configs import paper_policies
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.parallel import (
     CACHE_VERSION,
