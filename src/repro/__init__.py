@@ -28,6 +28,7 @@ Layer map (each is a subpackage with its own docs):
 - :mod:`repro.network` — packets, latency models, the network controller.
 - :mod:`repro.node` — the node model (CPU, NIC, host-execution model).
 - :mod:`repro.core` — quantum policies and the cluster co-simulation driver.
+- :mod:`repro.faults` — deterministic fault plans, injection, and recovery.
 - :mod:`repro.mpi` — message-passing library over the simulated network.
 - :mod:`repro.workloads` — NAS kernels, NAMD, synthetic workloads.
 - :mod:`repro.metrics` — accuracy, Pareto, and traffic analyses.
@@ -45,6 +46,7 @@ from repro.core import (
     RunResult,
     ThresholdAdaptivePolicy,
 )
+from repro.faults import FaultPlan, LinkPartition, NodeStall, load_plan
 from repro.harness import (
     DiskResultCache,
     ExperimentRunner,
@@ -57,7 +59,13 @@ from repro.harness import (
 )
 from repro.mpi import MpiRank, spmd_apps
 from repro.network import NetworkController, PAPER_NETWORK, Packet
-from repro.node import CpuModel, HostModelParams, SimulatedNode
+from repro.node import (
+    CpuModel,
+    HostModelParams,
+    RecoveryConfig,
+    SimulatedNode,
+    TransportConfig,
+)
 from repro.workloads import (
     CgWorkload,
     EpWorkload,
@@ -92,6 +100,13 @@ __all__ = [
     "NetworkController",
     "PAPER_NETWORK",
     "Packet",
+    "TransportConfig",
+    "RecoveryConfig",
+    # faults
+    "FaultPlan",
+    "LinkPartition",
+    "NodeStall",
+    "load_plan",
     # mpi
     "MpiRank",
     "spmd_apps",

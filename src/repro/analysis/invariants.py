@@ -28,8 +28,16 @@ Checked invariants, mapped to the paper:
   number of quanta; zero stragglers implies zero delay error.
 * **Ground truth is exact** — a run whose policy satisfies
   ``max_Q <= T`` (the conservative bound; the paper's 1 us reference
-  configuration) must report exactly zero stragglers.  (Section 4's
-  ground-truth definition.)
+  configuration) must report exactly zero stragglers *among delivered
+  frames*.  (Section 4's ground-truth definition; under fault
+  injection the bound applies to frames that actually reach their
+  destination — dropped frames never enter the delivery policy.)
+* **Fault accounting** — every frame the injector drops is tallied by
+  the sanitizer independently and reconciled against
+  :class:`~repro.faults.injector.FaultStats` at run end; no frame is
+  dropped without a fault plan; delay-spike counters are consistent;
+  recovery transports report ``timeouts == retransmits`` and never
+  suppress more network duplicates than the injector created.
 
 The sanitizer only *reads* simulation state: an enabled run is
 bit-identical to a disabled one, and a disabled run pays a single
@@ -43,6 +51,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.engine.units import SimTime, format_time
 from repro.network.controller import DeliveryDecision, DeliveryKind
+from repro.network.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.cluster import ClusterSimulator, RunResult
@@ -134,6 +143,8 @@ class CausalitySanitizer:
         self._in_window = False
         # Independent tally of delivery decisions, cross-checked at run end.
         self._counts = {kind: 0 for kind in DeliveryKind}
+        # Independent tally of injector drops by reason, likewise reconciled.
+        self._fault_drops = {"loss": 0, "partition": 0}
 
     @classmethod
     def for_cluster(cls, cluster: "ClusterSimulator") -> "CausalitySanitizer":
@@ -269,6 +280,20 @@ class CausalitySanitizer:
                     f"queue-to-next-quantum delivery {format_time(deliver)} is "
                     f"not the quantum boundary {format_time(end)}",
                 )
+
+    def on_fault_drop(self, packet: Packet, dst: int, reason: str) -> None:
+        """The fault injector dropped one frame before the delivery policy."""
+        self.violations_checked += 1
+        if reason not in self._fault_drops:
+            raise InvariantViolation(
+                "fault-accounting",
+                f"frame {packet.src}->{dst} dropped with unknown reason "
+                f"{reason!r}",
+                node=dst,
+                sim_time=packet.send_time,
+                quantum_index=self.quantum_index,
+            )
+        self._fault_drops[reason] += 1
 
     def on_quantum_end(self, start: SimTime, end: SimTime, np_count: int) -> None:
         """The barrier of quantum ``[start, end)`` closed with ``np`` frames."""
@@ -414,3 +439,53 @@ class CausalitySanitizer:
                 f"{stats.stragglers} stragglers — the reference run is not "
                 "a valid ground truth",
             )
+        faults = result.fault_stats
+        if faults is None:
+            observed_drops = sum(self._fault_drops.values())
+            if observed_drops != 0:
+                raise InvariantViolation(
+                    "fault-accounting",
+                    f"{observed_drops} frames were dropped in a run without "
+                    "a fault plan",
+                )
+        else:
+            expected = {
+                "loss": faults.frames_dropped,
+                "partition": faults.partition_drops,
+            }
+            if expected != self._fault_drops:
+                raise InvariantViolation(
+                    "fault-accounting",
+                    f"injector drop counters disagree with observed drops "
+                    f"(injector {expected}, sanitizer {self._fault_drops})",
+                )
+            if (faults.frames_delayed == 0) != (faults.extra_delay_total == 0):
+                raise InvariantViolation(
+                    "fault-accounting",
+                    f"delay-spike counters are inconsistent: "
+                    f"{faults.frames_delayed} frames delayed but total extra "
+                    f"delay is {faults.extra_delay_total}",
+                )
+        transports = result.transport_stats
+        if transports is not None:
+            # Every retransmission is triggered by exactly one counted RTO
+            # firing, so the two counters must agree per node.  Note the
+            # absence of a zero-retransmit assertion: an RTO can fire
+            # spuriously even on a perfect network when a large quantum
+            # inflates the observed round-trip past the timer.
+            for node_id, transport in enumerate(transports):
+                if transport.timeouts != transport.retransmits:
+                    raise InvariantViolation(
+                        "recovery-accounting",
+                        f"{transport.timeouts} timeouts fired but "
+                        f"{transport.retransmits} frames were retransmitted",
+                        node=node_id,
+                    )
+            dup_dropped = sum(t.duplicates_dropped for t in transports)
+            duplicated = faults.frames_duplicated if faults is not None else 0
+            if dup_dropped > duplicated:
+                raise InvariantViolation(
+                    "recovery-accounting",
+                    f"receivers suppressed {dup_dropped} network duplicates "
+                    f"but the injector only created {duplicated}",
+                )

@@ -33,7 +33,7 @@ SIM006  Bare or broad ``except`` in the sim core that swallows the
 ======= ================================================================
 
 Rules are *zone-scoped*: a file's zone is derived from its path
-(``sim-core`` for ``repro/{engine,core,network,node,mpi,workloads}``,
+(``sim-core`` for ``repro/{engine,core,network,node,mpi,workloads,faults}``,
 ``harness``, ``tests``, ``benchmarks``, ``examples``, ``other``), so the
 same invocation can lint the whole tree while holding only the sim core
 to the strictest contract.
@@ -48,7 +48,7 @@ from typing import Iterable, Optional, Union
 
 #: Packages under ``repro`` that form the deterministic simulation core.
 SIM_CORE_PACKAGES = frozenset(
-    {"engine", "core", "network", "node", "mpi", "workloads"}
+    {"engine", "core", "network", "node", "mpi", "workloads", "faults"}
 )
 
 #: One-line description per rule, keyed by code.

@@ -47,11 +47,14 @@ from repro.core.quantum import QuantumPolicy, QuantumStats
 from repro.core.stats import BucketTimeline, HostCostBreakdown
 from repro.engine.rng import RngStreams
 from repro.engine.units import SECOND, SimTime, format_time
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan
 from repro.network.controller import ControllerStats, NetworkController
 from repro.network.packet import Packet
 from repro.node.hostmodel import BUSY, HostExecutionModel, HostModelParams
 from repro.node.node import NodeStats, SimulatedNode
 from repro.node.sampling import SampledHostExecutionModel, SamplingSchedule
+from repro.node.transport import TransportStats
 
 
 class DeadlockError(RuntimeError):
@@ -79,6 +82,10 @@ class ClusterConfig:
         check: run the causality sanitizer (None defers to ``REPRO_CHECK``
             in the environment).  Checked runs are bit-identical to
             unchecked ones; they just raise on the first broken invariant.
+        faults: declarative fault plan (see :mod:`repro.faults`); None
+            keeps the paper's ideal network and healthy hosts.  A plan
+            that can lose or duplicate frames requires every node to run
+            a recovery-enabled transport.
     """
 
     seed: int = 42
@@ -91,6 +98,7 @@ class ClusterConfig:
     chunk: int = 1 << 16
     sampling: Optional[SamplingSchedule] = None
     check: Optional[bool] = None
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -107,6 +115,11 @@ class RunResult:
     app_results: list[Any]
     app_finish_times: list[Optional[SimTime]]
     timeline: Optional[BucketTimeline]
+    #: What the fault injector did; None for runs without a fault plan.
+    fault_stats: Optional[FaultStats] = None
+    #: Per-node transport counters, reported whenever any node runs the
+    #: reliable (recovery) transport; None otherwise.
+    transport_stats: Optional[list[TransportStats]] = None
 
     @property
     def makespan(self) -> SimTime:
@@ -129,12 +142,26 @@ class RunResult:
 
     def summary(self) -> str:
         stats = self.controller_stats
-        return (
+        text = (
             f"sim={format_time(self.sim_time)} host={self.host_time:.2f}s "
             f"quanta={self.quantum_stats.quanta} "
             f"packets={stats.packets_routed} stragglers={stats.stragglers} "
             f"({100 * stats.straggler_fraction:.1f}%)"
         )
+        faults = self.fault_stats
+        if faults is not None:
+            text += (
+                f" faults[drops={faults.total_drops} dup={faults.frames_duplicated}"
+                f" delayed={faults.frames_delayed} stall-quanta={faults.stall_quanta}]"
+            )
+        if self.transport_stats is not None:
+            retransmits = sum(t.retransmits for t in self.transport_stats)
+            duplicates = sum(
+                t.duplicates_dropped + t.spurious_retransmits
+                for t in self.transport_stats
+            )
+            text += f" recovery[retransmits={retransmits} dup-dropped={duplicates}]"
+        return text
 
 
 class _NodeClock:
@@ -227,6 +254,12 @@ class ClusterSimulator:
                 HostExecutionModel(node.node_id, self.config.host_params, self.rng)
                 for node in nodes
             ]
+        self.injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            self.injector = FaultInjector(
+                self._validate_faults(self.config.faults), self.rng
+            )
+        controller.injector = self.injector
         controller.bind(self)
         self.sanitizer: Optional[CausalitySanitizer] = None
         if check_enabled(self.config.check):
@@ -241,6 +274,32 @@ class ClusterSimulator:
         self._host_window_start: float = 0.0
         self._in_window = False
         self._dirty: list[int] = []
+
+    def _validate_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Reject fault plans this cluster cannot execute to completion."""
+        num_nodes = len(self.nodes)
+        named = [
+            node
+            for partition in plan.partitions
+            for node in partition.nodes
+        ] + [stall.node for stall in plan.stalls]
+        out_of_range = sorted({node for node in named if node >= num_nodes})
+        if out_of_range:
+            raise ValueError(
+                f"fault plan names nodes {out_of_range} but the cluster has "
+                f"only {num_nodes} nodes"
+            )
+        if plan.requires_recovery():
+            for node in self.nodes:
+                if node.transport is None or node.transport.recovery is None:
+                    raise ValueError(
+                        f"fault plan ({plan.describe()}) can lose or duplicate "
+                        f"frames but {node.name} has no recovery-enabled "
+                        "transport; construct nodes with transport="
+                        "TransportConfig(recovery=RecoveryConfig()) so "
+                        "workloads survive the faults"
+                    )
+        return plan
 
     # ------------------------------------------------------------------ #
     # ClusterState protocol (used by the controller's delivery policy)
@@ -280,6 +339,7 @@ class ClusterSimulator:
         controller = self.controller
         policy = self.policy
         sanitizer = self.sanitizer
+        injector = self.injector
         num_nodes = len(nodes)
         barrier_cost = config.barrier.overhead(num_nodes)
 
@@ -319,7 +379,14 @@ class ClusterSimulator:
             self._host_window_start = host
             for node, clock, model in zip(nodes, self._clocks, self.host_models):
                 busy_slowdown, idle_slowdown = model.slowdown_pair(start)
+                if injector is not None:
+                    stall = injector.stall_factor(node.node_id, start, end)
+                    if stall != 1.0:
+                        busy_slowdown *= stall
+                        idle_slowdown *= stall
                 clock.reset(start, host, busy_slowdown, idle_slowdown, node.activity)
+            if injector is not None:
+                injector.on_quantum(start, end)
 
             # Only ask the controller to scan its held-frame heap when the
             # earliest held frame is actually due — for most quanta the call
@@ -464,6 +531,8 @@ class ClusterSimulator:
         """
         activities = [node.activity for node in self.nodes]
         sanitizer = self.sanitizer
+        injector = self.injector
+        stalled = injector is not None and bool(injector.plan.stalls)
         while True:
             lengths, next_state = self.policy.idle_chunk(
                 q_state, horizon - now, self.config.chunk
@@ -472,11 +541,26 @@ class ClusterSimulator:
             if count == 0:
                 return now, host, q_state
             starts = now + np.concatenate(([0], np.cumsum(lengths[:-1])))
+            ends = starts + lengths if stalled else None
             max_slow = self.host_models[0].slowdowns(count, activities[0], starts)
-            for model, activity in zip(self.host_models[1:], activities[1:]):
-                np.maximum(
-                    max_slow, model.slowdowns(count, activity, starts), out=max_slow
-                )
+            if stalled:
+                assert injector is not None and ends is not None
+                factors = injector.stall_factors(0, starts, ends)
+                if factors is not None:
+                    max_slow *= factors
+            for node_id, (model, activity) in enumerate(
+                zip(self.host_models[1:], activities[1:]), start=1
+            ):
+                slow = model.slowdowns(count, activity, starts)
+                if stalled:
+                    assert injector is not None and ends is not None
+                    factors = injector.stall_factors(node_id, starts, ends)
+                    if factors is not None:
+                        slow = slow * factors
+                np.maximum(max_slow, slow, out=max_slow)
+            if stalled:
+                assert injector is not None and ends is not None
+                injector.on_quanta(starts, ends)
             node_cost = float((lengths * max_slow).sum()) / 1e9
             span = int(lengths.sum())
             barrier_total = barrier_cost * count
@@ -503,7 +587,10 @@ class ClusterSimulator:
         for node in self.nodes:
             if not node.finished or node.peek_time() is not None:
                 return False
-            if node.transport is not None and node.transport.queued_frames() > 0:
+            if node.transport is not None and (
+                node.transport.queued_frames() > 0
+                or node.transport.unacked_frames() > 0
+            ):
                 return False
         return True
 
@@ -523,6 +610,15 @@ class ClusterSimulator:
         quantum_stats: QuantumStats,
         timeline: Optional[BucketTimeline],
     ) -> RunResult:
+        transport_stats: Optional[list[TransportStats]] = None
+        if any(
+            node.transport is not None and node.transport.recovery is not None
+            for node in self.nodes
+        ):
+            transport_stats = [
+                node.transport.stats if node.transport is not None else TransportStats()
+                for node in self.nodes
+            ]
         result = RunResult(
             sim_time=now,
             host_time=host,
@@ -534,6 +630,8 @@ class ClusterSimulator:
             app_results=[node.app_result for node in self.nodes],
             app_finish_times=[node.app_finish_time for node in self.nodes],
             timeline=timeline,
+            fault_stats=self.injector.stats if self.injector is not None else None,
+            transport_stats=transport_stats,
         )
         if self.sanitizer is not None:
             self.sanitizer.on_run_end(result)

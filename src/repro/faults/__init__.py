@@ -1,0 +1,40 @@
+"""Deterministic fault injection: lossy, degraded clusters, reproducibly.
+
+The paper evaluates adaptive quantum synchronization on an ideal network
+(footnote 1 assumes a lossless, in-order link layer).  This subpackage
+relaxes that assumption without giving up the repository's standing
+guarantee — every run is a pure, deterministic function of its
+configuration:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` (link
+  loss, duplication, jitter, partitions; node stalls), hashable into
+  experiment cache keys, JSON-round-trippable, with CLI presets;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` executing a
+  plan from one dedicated seeded RNG stream, hooked into the network
+  controller (per-frame verdicts) and the cluster driver (per-quantum
+  stall factors).
+
+Loss recovery lives on the other side of the link: see the
+``RecoveryConfig`` retransmission path in :mod:`repro.node.transport`.
+"""
+
+from repro.faults.injector import FAULT_STREAM, FaultInjector, FaultStats, LinkVerdict
+from repro.faults.plan import (
+    PRESETS,
+    FaultPlan,
+    LinkPartition,
+    NodeStall,
+    load_plan,
+)
+
+__all__ = [
+    "FAULT_STREAM",
+    "FaultInjector",
+    "FaultStats",
+    "FaultPlan",
+    "LinkPartition",
+    "LinkVerdict",
+    "NodeStall",
+    "PRESETS",
+    "load_plan",
+]

@@ -1,0 +1,168 @@
+"""The fault injector: deterministic execution of a :class:`FaultPlan`.
+
+One injector per run, created by the cluster driver.  All stochastic
+verdicts (loss, duplication, jitter) draw from a single dedicated RNG
+stream named ``"faults"`` — derived from the run's root seed via
+:class:`repro.engine.rng.RngStreams` — so
+
+* the same ``(configuration, seed)`` replays the same faults bit-for-bit
+  regardless of process or worker count, and
+* adding the fault layer does not shift the draws of any existing
+  stochastic component (streams are keyed by name, not creation order).
+
+Draw discipline: the injector consumes RNG draws only for rates that are
+actually non-zero, in a fixed per-frame order (drop, then jitter, then
+duplication, then the copy's jitter).  An all-zero plan therefore
+consumes **zero** draws and its runs are bit-identical to fault-free
+runs.  Partition and stall verdicts are pure functions of simulated
+timestamps and consume no draws at all.
+
+Broadcast fan-out copies are never dropped or duplicated (the broadcast
+control plane has no retransmission path, so loss would be unrecoverable);
+they can still be jittered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.rng import RngStreams
+from repro.engine.units import SimTime
+from repro.faults.plan import FaultPlan
+from repro.network.packet import Packet
+
+#: Name of the injector's dedicated RNG stream.
+FAULT_STREAM = "faults"
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did over one run."""
+
+    frames_dropped: int = 0  # random uniform loss
+    partition_drops: int = 0  # frames severed by a partition window
+    frames_duplicated: int = 0
+    frames_delayed: int = 0  # latency spikes (originals and copies)
+    extra_delay_total: SimTime = 0  # summed spike magnitude
+    stall_quanta: int = 0  # quanta overlapping any node stall
+
+    @property
+    def total_drops(self) -> int:
+        return self.frames_dropped + self.partition_drops
+
+
+@dataclass(frozen=True)
+class LinkVerdict:
+    """The injector's decision for one frame/destination pair."""
+
+    drop: bool = False
+    drop_reason: str = ""  # "loss" or "partition" when drop is True
+    duplicate: bool = False
+    extra_latency: SimTime = 0
+    dup_extra_latency: SimTime = 0
+
+
+_CLEAN = LinkVerdict()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a run's packet flow."""
+
+    def __init__(self, plan: FaultPlan, rng: RngStreams) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = rng.stream(FAULT_STREAM)
+
+    # ------------------------------------------------------------------ #
+    # Link faults (called by the network controller per frame/destination)
+    # ------------------------------------------------------------------ #
+
+    def _spike(self) -> SimTime:
+        """One latency-spike draw: uniform in ``[1, jitter_max]``."""
+        extra = int(self._rng.integers(1, self.plan.jitter_max + 1))
+        self.stats.frames_delayed += 1
+        self.stats.extra_delay_total += extra
+        return extra
+
+    def link_verdict(self, packet: Packet, dst: int, protected: bool = False) -> LinkVerdict:
+        """Decide the fate of *packet* on its way to *dst*.
+
+        *protected* frames (broadcast fan-out copies) are exempt from
+        drop and duplication — there is no retransmission path to recover
+        them — but still experience jitter.
+        """
+        plan = self.plan
+        if not protected:
+            for partition in plan.partitions:
+                if partition.cuts(packet.src, dst, packet.send_time):
+                    self.stats.partition_drops += 1
+                    return LinkVerdict(drop=True, drop_reason="partition")
+            if plan.drop_rate > 0.0 and float(self._rng.random()) < plan.drop_rate:
+                self.stats.frames_dropped += 1
+                return LinkVerdict(drop=True, drop_reason="loss")
+        extra: SimTime = 0
+        if plan.jitter_rate > 0.0 and float(self._rng.random()) < plan.jitter_rate:
+            extra = self._spike()
+        duplicate = False
+        dup_extra: SimTime = 0
+        if (
+            not protected
+            and plan.duplicate_rate > 0.0
+            and float(self._rng.random()) < plan.duplicate_rate
+        ):
+            duplicate = True
+            self.stats.frames_duplicated += 1
+            if plan.jitter_rate > 0.0 and float(self._rng.random()) < plan.jitter_rate:
+                dup_extra = self._spike()
+        if not duplicate and extra == 0:
+            return _CLEAN
+        return LinkVerdict(
+            duplicate=duplicate, extra_latency=extra, dup_extra_latency=dup_extra
+        )
+
+    # ------------------------------------------------------------------ #
+    # Node faults (called by the cluster driver per quantum)
+    # ------------------------------------------------------------------ #
+
+    def stall_factor(self, node: int, start: SimTime, end: SimTime) -> float:
+        """Slowdown multiplier for *node* over the quantum ``[start, end)``."""
+        factor = 1.0
+        for stall in self.plan.stalls:
+            if stall.node == node and stall.overlaps(start, end):
+                factor = max(factor, stall.factor)
+        return factor
+
+    def stall_factors(
+        self, node: int, starts: np.ndarray, ends: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorised :meth:`stall_factor` for the fast-forward accelerator.
+
+        Returns None when *node* has no stalls at all, so the accelerator
+        skips the multiply on the (overwhelmingly common) clean path.
+        """
+        relevant = [stall for stall in self.plan.stalls if stall.node == node]
+        if not relevant:
+            return None
+        factors = np.ones(len(starts))
+        for stall in relevant:
+            mask = (starts < stall.end) & (ends > stall.start)
+            factors = np.where(mask, np.maximum(factors, stall.factor), factors)
+        return factors
+
+    def on_quantum(self, start: SimTime, end: SimTime) -> None:
+        """Account one event-path quantum against the stall windows."""
+        for stall in self.plan.stalls:
+            if stall.overlaps(start, end):
+                self.stats.stall_quanta += 1
+                return
+
+    def on_quanta(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        """Account a fast-forwarded run of quanta against the stall windows."""
+        if not self.plan.stalls:
+            return
+        mask = np.zeros(len(starts), dtype=bool)
+        for stall in self.plan.stalls:
+            mask |= (starts < stall.end) & (ends > stall.start)
+        self.stats.stall_quanta += int(mask.sum())

@@ -8,19 +8,24 @@ Regenerates any of the paper's figures or tables from the terminal::
     repro-cluster sec6 --case IS    # one 64-node case study
     repro-cluster fig9 --case NAMD  # traffic + speedup-over-time
     repro-cluster sweep --workload IS
+    repro-cluster fig6 --faults lossy-1   # same matrix over a lossy fabric
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
+from typing import Optional
 
 from repro.engine.units import MILLISECOND
+from repro.faults.plan import PRESETS, FaultPlan, load_plan
 from repro.harness import figures
 from repro.harness.configs import scaleout_configs
 from repro.harness.parallel import ParallelRunner
 from repro.harness.sweep import sweep_inc_dec
+from repro.node.transport import RecoveryConfig, TransportConfig
 from repro.workloads import (
     CgWorkload,
     EpWorkload,
@@ -73,6 +78,14 @@ def _parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="run the causality sanitizer on every simulation "
         "(REPRO_CHECK=1 does the same; results are bit-identical either way)",
+    )
+    common.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=argparse.SUPPRESS,
+        help="inject deterministic network/host faults: a preset name "
+        f"({', '.join(sorted(PRESETS))}) or a JSON fault-plan file; plans "
+        "that can lose frames automatically enable the recovery transport",
     )
 
     parser = argparse.ArgumentParser(
@@ -132,6 +145,19 @@ def _scaleout(case: str):
     raise SystemExit(f"unknown case {case!r}")
 
 
+def _with_recovery(
+    transport: Optional[TransportConfig], faults: Optional[FaultPlan]
+) -> Optional[TransportConfig]:
+    """Upgrade *transport* so a loss-capable fault plan is survivable."""
+    if faults is None or not faults.requires_recovery():
+        return transport
+    if transport is None:
+        return TransportConfig(recovery=RecoveryConfig())
+    if transport.recovery is None:
+        return dataclasses.replace(transport, recovery=RecoveryConfig())
+    return transport
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _main(argv)
@@ -150,6 +176,14 @@ def _main(argv: list[str] | None = None) -> int:
     args.cache_dir = getattr(args, "cache_dir", None)
     # None (not False) defers to the REPRO_CHECK environment variable.
     args.check = True if getattr(args, "check", False) else None
+    faults_spec = getattr(args, "faults", None)
+    try:
+        faults = load_plan(faults_spec) if faults_spec is not None else None
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    if faults is not None:
+        recovery = " (recovery transport enabled)" if faults.requires_recovery() else ""
+        print(f"[faults] {faults.describe()}{recovery}", file=sys.stderr)
     started = time.time()
     runner = ParallelRunner(
         seed=args.seed,
@@ -157,6 +191,8 @@ def _main(argv: list[str] | None = None) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         check=args.check,
+        faults=faults,
+        transport=_with_recovery(None, faults),
         progress=True,
     )
 
@@ -190,6 +226,8 @@ def _main(argv: list[str] | None = None) -> int:
                 timeline_bucket=timeline_bucket,
                 max_workers=args.jobs,
                 check=args.check,
+                faults=faults,
+                transport=_with_recovery(None, faults),
                 progress=True,
             ),
             config,
@@ -207,7 +245,6 @@ def _main(argv: list[str] | None = None) -> int:
         from repro.engine.units import MICROSECOND
         from repro.harness.configs import PolicySpec
         from repro.harness.report import format_table, percent, times
-        from repro.node.transport import TransportConfig
         from repro.workloads import StreamWorkload
 
         rows = []
@@ -218,11 +255,12 @@ def _main(argv: list[str] | None = None) -> int:
         ]:
             transport_runner = ParallelRunner(
                 seed=args.seed,
-                transport=config,
+                transport=_with_recovery(config, faults),
                 max_workers=args.jobs,
                 use_cache=not args.no_cache,
                 cache_dir=args.cache_dir,
                 check=args.check,
+                faults=faults,
             )
             workload = StreamWorkload()
             transport_runner.ground_truth(workload, 2)
@@ -258,11 +296,12 @@ def _main(argv: list[str] | None = None) -> int:
             for sample_label, sampling_schedule in [("detailed", None),
                                                     ("sampled", schedule)]:
                 workload = EpWorkload()
-                nodes = [SimulatedNode(i, app)
+                nodes = [SimulatedNode(i, app, transport=_with_recovery(None, faults))
                          for i, app in enumerate(workload.build_apps(8))]
                 controller = NetworkController(8, PAPER_NETWORK(8))
                 config = ClusterConfig(
-                    seed=args.seed, sampling=sampling_schedule, check=args.check
+                    seed=args.seed, sampling=sampling_schedule, check=args.check,
+                    faults=faults,
                 )
                 results[(sync_label, sample_label)] = ClusterSimulator(
                     nodes, controller, policy_factory(), config).run()

@@ -16,6 +16,7 @@ from repro.core.barrier import BarrierModel
 from repro.core.cluster import ClusterConfig, ClusterSimulator, RunResult
 from repro.core.quantum import QuantumPolicy
 from repro.engine.units import SimTime, format_time
+from repro.faults.plan import FaultPlan
 from repro.harness.configs import PolicySpec, ground_truth_policy
 from repro.metrics.traffic import TrafficTrace
 from repro.network.controller import NetworkController
@@ -74,6 +75,7 @@ class ExperimentRunner:
         record_traffic: bool = False,
         transport: Optional[TransportConfig] = None,
         check: Optional[bool] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -83,6 +85,7 @@ class ExperimentRunner:
         self.record_traffic = record_traffic
         self.transport = transport
         self.check = check
+        self.faults = faults
         self._ground_truth: dict[tuple[str, int], ExperimentRecord] = {}
 
     # ------------------------------------------------------------------ #
@@ -113,6 +116,7 @@ class ExperimentRunner:
             barrier=self.barrier,
             timeline_bucket=self.timeline_bucket,
             check=self.check,
+            faults=self.faults,
         )
         simulator = ClusterSimulator(nodes, controller, policy, config)
         result = simulator.run()

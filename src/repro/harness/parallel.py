@@ -17,17 +17,21 @@ Two pieces:
   so the parallel path is **bit-identical** to the serial one (each run is
   deterministic given its spec).  ``max_workers=1`` or the environment
   variable ``REPRO_PARALLEL=0`` force the serial path; a crashed worker
-  pool degrades to in-process recomputation instead of losing the batch;
-  Ctrl-C cancels outstanding work promptly.
+  pool is rebuilt once and then degrades to in-process recomputation
+  instead of losing the batch (the reason is surfaced via
+  ``last_fallback_reason`` and the progress stream); Ctrl-C cancels
+  outstanding work promptly.
 
 * :class:`DiskResultCache` — a persistent ground-truth/result cache under
   ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``), keyed by a stable
   SHA-256 over the full configuration: workload class + parameters, size,
   policy class + parameters, seed, host-model calibration, barrier model,
   latency calibration, and transport settings, plus a cache format
-  version.  Entries are one JSON file each; an entry whose version or key
-  payload does not match is ignored and recomputed (then overwritten), so
-  stale or corrupted files can never poison a result.  The expensive 1 us
+  version.  Entries are one JSON file each, written atomically
+  (temp-file + rename); an entry whose version or key payload does not
+  match is ignored and recomputed (then overwritten), and one that fails
+  to parse is quarantined to ``<key>.corrupt``, so stale or corrupted
+  files can never poison a result.  The expensive 1 us
   ground-truth runs are therefore computed once per machine, not once per
   benchmark script.
 
@@ -56,13 +60,15 @@ from repro.core.cluster import RunResult
 from repro.core.quantum import QuantumPolicy, QuantumStats
 from repro.core.stats import HostCostBreakdown
 from repro.engine.units import SimTime
+from repro.faults.injector import FaultStats
+from repro.faults.plan import FaultPlan
 from repro.harness.configs import PolicySpec
 from repro.harness.experiment import ExperimentRecord, ExperimentRunner
 from repro.network.controller import ControllerStats
 from repro.network.latency import PAPER_NETWORK
 from repro.node.hostmodel import HostModelParams
 from repro.node.node import NodeStats
-from repro.node.transport import TransportConfig
+from repro.node.transport import TransportConfig, TransportStats
 from repro.workloads.base import Workload
 
 #: Bump whenever the cached-record schema or run semantics change; every
@@ -127,6 +133,7 @@ class RunnerSettings:
     # Deliberately absent from key_fragment(): a checked run is bit-identical
     # to an unchecked one, so sanitized and plain runs share cache entries.
     check: Optional[bool] = None
+    faults: Optional[FaultPlan] = None
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -138,6 +145,7 @@ class RunnerSettings:
             record_traffic=self.record_traffic,
             transport=self.transport,
             check=self.check,
+            faults=self.faults,
         )
 
     @property
@@ -147,7 +155,15 @@ class RunnerSettings:
 
     def key_fragment(self, size: int) -> dict:
         factory = self.latency_factory
-        return {
+        transport = None
+        if self.transport is not None:
+            transport = _jsonable(dataclasses.asdict(self.transport))
+            if transport.get("recovery") is None:
+                # Elide the absent recovery block so pre-recovery cache
+                # entries (and fault-free keys in general) stay byte-
+                # identical to what older harness versions computed.
+                del transport["recovery"]
+        fragment = {
             "seed": self.seed,
             "host_params": _jsonable(dataclasses.asdict(self.host_params)),
             "barrier": _describe_component(self.barrier),
@@ -157,12 +173,13 @@ class RunnerSettings:
                 # ``T`` for this size even if the factory name collides.
                 "min_latency": factory(size).min_latency(),
             },
-            "transport": (
-                _jsonable(dataclasses.asdict(self.transport))
-                if self.transport is not None
-                else None
-            ),
+            "transport": transport,
         }
+        if self.faults is not None:
+            # Only faulted runs carry the key: fault-free payloads hash
+            # exactly as they did before the fault layer existed.
+            fragment["faults"] = _jsonable(self.faults.to_dict())
+        return fragment
 
 
 @dataclass(frozen=True)
@@ -202,23 +219,32 @@ def record_to_json(record: ExperimentRecord) -> dict:
     result = record.result
     if result.timeline is not None or record.trace is not None:
         raise Uncacheable("runs with traces or timelines are not cacheable")
+    encoded = {
+        "sim_time": result.sim_time,
+        "host_time": result.host_time,
+        "completed": result.completed,
+        "breakdown": dataclasses.asdict(result.breakdown),
+        "quantum_stats": dataclasses.asdict(result.quantum_stats),
+        "controller_stats": dataclasses.asdict(result.controller_stats),
+        "node_stats": [dataclasses.asdict(s) for s in result.node_stats],
+        "app_results": _jsonable(result.app_results),
+        "app_finish_times": list(result.app_finish_times),
+    }
+    # Optional fault/recovery blocks: written only when present, so the
+    # cached bytes of fault-free runs are unchanged from older versions.
+    if result.fault_stats is not None:
+        encoded["fault_stats"] = dataclasses.asdict(result.fault_stats)
+    if result.transport_stats is not None:
+        encoded["transport_stats"] = [
+            dataclasses.asdict(s) for s in result.transport_stats
+        ]
     return {
         "workload_name": record.workload_name,
         "size": record.size,
         "policy_label": record.policy_label,
         "seed": record.seed,
         "metric": record.metric,
-        "result": {
-            "sim_time": result.sim_time,
-            "host_time": result.host_time,
-            "completed": result.completed,
-            "breakdown": dataclasses.asdict(result.breakdown),
-            "quantum_stats": dataclasses.asdict(result.quantum_stats),
-            "controller_stats": dataclasses.asdict(result.controller_stats),
-            "node_stats": [dataclasses.asdict(s) for s in result.node_stats],
-            "app_results": _jsonable(result.app_results),
-            "app_finish_times": list(result.app_finish_times),
-        },
+        "result": encoded,
     }
 
 
@@ -236,6 +262,14 @@ def record_from_json(payload: dict) -> ExperimentRecord:
         app_results=res["app_results"],
         app_finish_times=res["app_finish_times"],
         timeline=None,
+        fault_stats=(
+            FaultStats(**res["fault_stats"]) if "fault_stats" in res else None
+        ),
+        transport_stats=(
+            [TransportStats(**stats) for stats in res["transport_stats"]]
+            if "transport_stats" in res
+            else None
+        ),
     )
     return ExperimentRecord(
         workload_name=payload["workload_name"],
@@ -279,23 +313,50 @@ class DiskResultCache:
         return self.root / f"{self.key_of(payload)}.json"
 
     def get(self, payload: dict) -> Optional[ExperimentRecord]:
-        """The cached record for *payload*, or None on any mismatch."""
+        """The cached record for *payload*, or None on any mismatch.
+
+        Entries that fail to *parse* — truncated writes, disk corruption,
+        hand-editing gone wrong — are quarantined to ``<key>.corrupt`` so
+        they stop being re-read on every lookup and stay inspectable.
+        Entries that parse but carry a stale version or foreign key are
+        plain misses: they are valid files that :meth:`put` overwrites.
+        """
         # Round-trip the expected payload through JSON so the comparison
         # below is canonical (tuples become lists, etc.).
         expected = json.loads(json.dumps(payload))
+        path = self._path(payload)
         try:
-            raw = self._path(payload).read_text()
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
             entry = json.loads(raw)
-            if entry.get("cache_version") != CACHE_VERSION:
-                raise ValueError("version mismatch")
-            if entry.get("key") != expected:
-                raise ValueError("key mismatch")
+            if not isinstance(entry, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if entry.get("cache_version") != CACHE_VERSION or entry.get("key") != expected:
+            self.misses += 1
+            return None
+        try:
             record = record_from_json(entry["record"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return record
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move an unreadable entry aside (best-effort, never raises)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def put(self, payload: dict, record: ExperimentRecord) -> bool:
         """Store *record*; returns False when it cannot be serialized."""
@@ -324,13 +385,13 @@ class DiskResultCache:
 # --------------------------------------------------------------------- #
 
 
-def _specs_picklable(specs: list[RunSpec], pending: list[int]) -> bool:
-    """Whether every pending spec can be shipped to a worker process."""
+def _pickle_error(specs: list[RunSpec], pending: list[int]) -> Optional[str]:
+    """Why the pending specs cannot ship to a worker process (None = fine)."""
     try:
         pickle.dumps([specs[index] for index in pending])
-    except Exception:
-        return False
-    return True
+    except Exception as error:
+        return f"{type(error).__name__}: {error}"
+    return None
 
 
 def _execute(index: int, spec: RunSpec) -> tuple[int, ExperimentRecord, float]:
@@ -395,6 +456,7 @@ class ParallelRunner(ExperimentRunner):
         record_traffic: bool = False,
         transport: Optional[TransportConfig] = None,
         check: Optional[bool] = None,
+        faults: Optional[FaultPlan] = None,
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -410,6 +472,7 @@ class ParallelRunner(ExperimentRunner):
             record_traffic=record_traffic,
             transport=transport,
             check=check,
+            faults=faults,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -420,6 +483,7 @@ class ParallelRunner(ExperimentRunner):
             record_traffic=record_traffic,
             transport=transport,
             check=check,
+            faults=faults,
         )
         self.max_workers = max_workers
         self.progress = progress
@@ -430,6 +494,10 @@ class ParallelRunner(ExperimentRunner):
         )
         #: (label, size, wall seconds, source) per run of the last batch.
         self.last_batch_report: list[tuple[str, int, float, str]] = []
+        #: Why the last batch degraded from the pool to the serial path
+        #: (None when it did not): an unpicklable spec, or a worker pool
+        #: that died twice.  Also echoed to stderr under ``progress``.
+        self.last_fallback_reason: Optional[str] = None
 
     # -- small helpers ------------------------------------------------- #
 
@@ -452,6 +520,11 @@ class ParallelRunner(ExperimentRunner):
                 file=sys.stderr,
                 flush=True,
             )
+
+    def _note_fallback(self, reason: str) -> None:
+        self.last_fallback_reason = reason
+        if self.progress:
+            print(f"[pool] {reason}", file=sys.stderr, flush=True)
 
     def _cache_payload(self, spec: RunSpec) -> Optional[dict]:
         if self.cache is None:
@@ -496,6 +569,7 @@ class ParallelRunner(ExperimentRunner):
         runs the identical in-process code path as the base class.
         """
         self.last_batch_report = []
+        self.last_fallback_reason = None
         total = len(requests)
         specs = [self._spec_for(w, size, spec) for w, size, spec in requests]
         payloads = [self._cache_payload(spec) for spec in specs]
@@ -513,12 +587,17 @@ class ParallelRunner(ExperimentRunner):
                 pending.append(index)
 
         workers = min(resolve_workers(self.max_workers), len(pending))
-        if workers > 1 and not _specs_picklable(specs, pending):
-            # A spec cannot cross the process boundary (e.g. a lambda
+        if workers > 1:
+            # A spec may not cross the process boundary (e.g. a lambda
             # latency factory).  Checking up front — instead of letting the
             # executor's feeder thread hit the error — avoids a CPython
             # shutdown deadlock (gh-105829) and keeps the batch alive.
-            workers = 0
+            reason = _pickle_error(specs, pending)
+            if reason is not None:
+                self._note_fallback(
+                    f"specs are not picklable, running serially ({reason})"
+                )
+                workers = 0
         if workers <= 1:
             source = "serial" if workers == 1 or not pending else "serial-fallback"
             for index in pending:
@@ -545,7 +624,39 @@ class ParallelRunner(ExperimentRunner):
         done: int,
         total: int,
     ) -> list[int]:
-        """Dispatch *pending* specs; returns indices needing serial retry."""
+        """Dispatch *pending* specs; returns indices needing serial retry.
+
+        A broken pool (a worker killed mid-run by the OOM killer or a
+        signal) is rebuilt **once** — only the still-unfinished runs are
+        resubmitted — before degrading to the serial path, so a single bad
+        worker cannot serialize a whole batch.
+        """
+        for attempt in range(2):
+            remaining = [i for i in pending if records[i] is None]
+            if not remaining:
+                return []
+            done, survived = self._pool_pass(specs, remaining, records, workers, done, total)
+            if survived:
+                return []
+            if attempt == 0:
+                self._note_fallback(
+                    "worker pool died mid-batch; rebuilding the pool once"
+                )
+        self._note_fallback(
+            "worker pool died twice; finishing the batch serially"
+        )
+        return [i for i in pending if records[i] is None]
+
+    def _pool_pass(
+        self,
+        specs: list[RunSpec],
+        pending: list[int],
+        records: list[Optional[ExperimentRecord]],
+        workers: int,
+        done: int,
+        total: int,
+    ) -> tuple[int, bool]:
+        """One pool lifetime; False when the pool broke with work left."""
         executor = ProcessPoolExecutor(max_workers=workers)
         futures = {}
         try:
@@ -558,15 +669,14 @@ class ParallelRunner(ExperimentRunner):
                     try:
                         index, record, wall = future.result()
                     except (BrokenProcessPool, pickle.PicklingError):
-                        # A worker died (OOM, signal) or a spec cannot cross
-                        # the process boundary (e.g. a lambda latency
-                        # factory).  Everything not yet gathered re-runs
-                        # in-process so the batch survives.
-                        return [i for i in pending if records[i] is None]
+                        # A worker died (OOM, signal) or a result cannot
+                        # cross the process boundary.  Everything not yet
+                        # gathered is retried by the caller.
+                        return done, False
                     records[index] = record
                     done += 1
                     self._note(done, total, specs[index], wall, "worker")
-            return []
+            return done, True
         except KeyboardInterrupt:
             # Kill in-flight work so Ctrl-C returns promptly instead of
             # waiting out multi-second simulation runs.

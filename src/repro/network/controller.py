@@ -34,6 +34,7 @@ from repro.network.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - the sanitizer imports this module
     from repro.analysis.invariants import CausalitySanitizer
+    from repro.faults.injector import FaultInjector
 
 
 class ClusterState(Protocol):
@@ -129,6 +130,10 @@ class NetworkController:
         #: Causality sanitizer observing every delivery decision; set by the
         #: driver when checking is enabled (see ``repro.analysis.invariants``).
         self.sanitizer: Optional["CausalitySanitizer"] = None
+        #: Fault injector deciding per-frame drop/duplicate/jitter verdicts;
+        #: set by the driver when the run carries a fault plan (the clean
+        #: path pays a single ``is None`` test per frame).
+        self.injector: Optional["FaultInjector"] = None
         self._future: list[tuple[SimTime, int, DeliveryDecision]] = []
         self._future_seq = 0
 
@@ -153,19 +158,27 @@ class NetworkController:
         """
         if self.cluster is None:
             raise RuntimeError("controller is not bound to a cluster")
+        immediate: list[DeliveryDecision] = []
         if not packet.is_broadcast:
             # Unicast fast path: no fan-out list, no per-frame clone.
             dst = packet.dst
             if not 0 <= dst < self.num_nodes:
                 raise ValueError(f"destination {dst} out of range")
+            if self.injector is not None:
+                self._route_faulted(packet, dst, sender_host_time, False, immediate)
+                return immediate
             decision = self._decide(packet, dst, sender_host_time)
             self._account(decision)
             if decision.immediate:
                 return [decision]
             self._hold(decision)
             return []
-        immediate = []
         for dst, frame in self._destinations(packet):
+            if self.injector is not None:
+                # Broadcast copies are protected: jitter only, no loss —
+                # the broadcast control plane has no retransmission path.
+                self._route_faulted(frame, dst, sender_host_time, True, immediate)
+                continue
             decision = self._decide(frame, dst, sender_host_time)
             self._account(decision)
             if decision.immediate:
@@ -173,6 +186,45 @@ class NetworkController:
             else:
                 self._hold(decision)
         return immediate
+
+    def _route_faulted(
+        self,
+        packet: Packet,
+        dst: int,
+        sender_host_time: float,
+        protected: bool,
+        immediate: list[DeliveryDecision],
+    ) -> None:
+        """Route one frame through the fault injector's verdict.
+
+        Dropped frames vanish before the delivery policy: they are not
+        routed, not counted in ``np``, and never held — only the injector's
+        own statistics (and the sanitizer, when attached) see them.  A
+        duplicated frame is cloned and routed a second time with its own
+        (possibly different) latency spike.
+        """
+        assert self.injector is not None
+        verdict = self.injector.link_verdict(packet, dst, protected)
+        if verdict.drop:
+            if self.sanitizer is not None:
+                self.sanitizer.on_fault_drop(packet, dst, verdict.drop_reason)
+            return
+        decision = self._decide(packet, dst, sender_host_time, verdict.extra_latency)
+        self._account(decision)
+        if decision.immediate:
+            immediate.append(decision)
+        else:
+            self._hold(decision)
+        if verdict.duplicate:
+            copy = packet.clone_for(dst)
+            duplicate = self._decide(
+                copy, dst, sender_host_time, verdict.dup_extra_latency
+            )
+            self._account(duplicate)
+            if duplicate.immediate:
+                immediate.append(duplicate)
+            else:
+                self._hold(duplicate)
 
     def _destinations(self, packet: Packet) -> Iterable[tuple[int, Packet]]:
         if not packet.is_broadcast:
@@ -186,10 +238,16 @@ class NetworkController:
             if dst != packet.src
         ]
 
-    def _decide(self, packet: Packet, dst: int, sender_host_time: float) -> DeliveryDecision:
+    def _decide(
+        self,
+        packet: Packet,
+        dst: int,
+        sender_host_time: float,
+        extra_latency: SimTime = 0,
+    ) -> DeliveryDecision:
         assert self.cluster is not None
         start, end = self.cluster.quantum_window()
-        due = packet.send_time + self.latency_model.latency(packet, dst)
+        due = packet.send_time + self.latency_model.latency(packet, dst) + extra_latency
         packet.due_time = due
         if due >= end:
             # Due beyond the barrier: hold it, delivery will be exact.

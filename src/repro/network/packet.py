@@ -58,6 +58,9 @@ class Packet:
         straggler: True when timing causality was broken for this frame.
         kind: "data" for application frames, "ack" for transport-level
             acknowledgements (which bypass reassembly and the mailbox).
+        retransmit: 0 for an original transmission; a retransmitted copy
+            carries its retry ordinal so receivers can tell a recovery
+            resend from a network-duplicated frame.
     """
 
     src: int
@@ -72,6 +75,7 @@ class Packet:
     deliver_time: Optional[SimTime] = None
     straggler: bool = False
     kind: str = "data"
+    retransmit: int = 0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:
@@ -105,6 +109,7 @@ class Packet:
             last_fragment=self.last_fragment,
             payload=self.payload,
             kind=self.kind,
+            retransmit=self.retransmit,
         )
 
 

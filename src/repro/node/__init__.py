@@ -26,7 +26,13 @@ from repro.node.cpu import CpuModel
 from repro.node.hostmodel import HostExecutionModel, HostModelParams
 from repro.node.nic import Message, NicModel
 from repro.node.sampling import SampledHostExecutionModel, SamplingSchedule
-from repro.node.transport import NodeTransport, TransportConfig
+from repro.node.transport import (
+    NodeTransport,
+    RecoveryConfig,
+    RetryExhausted,
+    TransportConfig,
+    TransportStats,
+)
 from repro.node.node import NodeStats, SimulatedNode
 from repro.node.requests import (
     ANY_SOURCE,
@@ -47,6 +53,9 @@ __all__ = [
     "SamplingSchedule",
     "SampledHostExecutionModel",
     "TransportConfig",
+    "TransportStats",
+    "RecoveryConfig",
+    "RetryExhausted",
     "NodeTransport",
     "SimulatedNode",
     "NodeStats",

@@ -139,6 +139,12 @@ class SimulatedNode:
             ack = self.transport.flush_ack(event.payload, self.nic.pace, event.time)
             if ack is not None:
                 self.queue.schedule(ack.send_time, tag="emit", payload=ack)
+        elif event.tag == "rto":
+            assert self.transport is not None
+            dst, serial = event.payload
+            for frame in self.transport.on_rto(dst, serial, self.nic.pace, event.time):
+                self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+            self._drain_transport_timers()
         else:
             raise RuntimeError(f"{self.name}: unknown event tag {event.tag!r}")
         return event
@@ -198,10 +204,19 @@ class SimulatedNode:
                 paced=False,
             )
             frames = self.transport.admit(built, self.nic.pace, now)
+            self._drain_transport_timers()
         for frame in frames:
             self.queue.schedule(frame.send_time, tag="emit", payload=frame)
         self.stats.messages_sent += 1
         self._wake_after(now, self.costs.send_cost(request.nbytes), BUSY)
+
+    def _drain_transport_timers(self) -> None:
+        """Schedule any RTO timers the transport requested (recovery mode)."""
+        assert self.transport is not None
+        if self.transport.recovery is None:
+            return
+        for deadline, dst, serial in self.transport.take_timer_requests():
+            self.queue.schedule(deadline, tag="rto", payload=(dst, serial))
 
     def _do_recv(self, request: Recv, now: SimTime) -> None:
         message = self.nic.match(request)
@@ -225,17 +240,33 @@ class SimulatedNode:
             assert self.transport is not None, "ack received without transport"
             for frame in self.transport.on_ack(packet, self.nic.pace, now):
                 self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+            self._drain_transport_timers()
             return
         if self.transport is not None:
-            ack = self.transport.ack_for(packet, self.nic.pace, now)
-            if ack is not None:
-                self.queue.schedule(ack.send_time, tag="emit", payload=ack)
-            elif self.transport.arm_delack(packet.src):
-                self.queue.schedule(
-                    now + self.transport.config.delack_timeout,
-                    tag="delack",
-                    payload=packet.src,
-                )
+            if self.transport.recovery is not None:
+                accept, ack = self.transport.receive_data(packet, self.nic.pace, now)
+                if ack is not None:
+                    self.queue.schedule(ack.send_time, tag="emit", payload=ack)
+                elif self.transport.arm_delack(packet.src):
+                    self.queue.schedule(
+                        now + self.transport.config.delack_timeout,
+                        tag="delack",
+                        payload=packet.src,
+                    )
+                if not accept:
+                    # Duplicate suppressed before reassembly (its fragment
+                    # counting assumes each frame arrives exactly once).
+                    return
+            else:
+                ack = self.transport.ack_for(packet, self.nic.pace, now)
+                if ack is not None:
+                    self.queue.schedule(ack.send_time, tag="emit", payload=ack)
+                elif self.transport.arm_delack(packet.src):
+                    self.queue.schedule(
+                        now + self.transport.config.delack_timeout,
+                        tag="delack",
+                        payload=packet.src,
+                    )
         message = self.nic.receive_fragment(packet)
         if message is None or self._blocked_recv is None:
             return

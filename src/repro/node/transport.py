@@ -23,9 +23,26 @@ flow:
   experience latency, and can become stragglers — which is precisely how
   quantum-induced delay compounds.
 
-The network is lossless and in-order (paper footnote 1 assumes
-retransmissions "rarely happen"), so no retransmit machinery is modelled —
-the stall, not the loss recovery, is the amplifier.
+By default the network is lossless and in-order (paper footnote 1 assumes
+retransmissions "rarely happen"), so no retransmit machinery runs — the
+stall, not the loss recovery, is the amplifier.  When a run injects faults
+(:mod:`repro.faults`), that assumption no longer holds: configuring
+``TransportConfig(recovery=RecoveryConfig(...))`` switches the transport
+into **reliable mode**, adding exactly the machinery footnote 1 waves away:
+
+* acknowledgements carry the ``(message_id, fragment)`` keys they cover
+  (selective acks) instead of a byte count, so the sender retires exactly
+  the frames that survived;
+* every unicast data frame stays buffered at the sender until acked; a
+  per-flow retransmission timer (RTO) with exponential backoff resends
+  the oldest unacked frame, bounded by ``max_retries``;
+* the receiver suppresses duplicates (network duplication or spurious
+  retransmission) before reassembly, acknowledging them immediately so
+  the sender's window cannot wedge.
+
+Recovery is off (``recovery=None``) unless requested, and a recovery
+transport on a fault-free network is observationally different only in
+its ack payloads — which is why fault-free cache keys never include it.
 
 Transport is **opt-in** (``SimulatedNode(transport=TransportConfig(...))``);
 the default eager model matches the calibrated headline experiments, and
@@ -36,10 +53,51 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.engine.units import SimTime
 from repro.network.packet import BROADCAST, FRAME_HEADER_BYTES, Packet
+
+
+class RetryExhausted(RuntimeError):
+    """A frame burned through its whole retransmission budget.
+
+    Raised (deterministically) when the fault plan is harsher than the
+    recovery configuration can absorb; raise ``max_retries`` or lower the
+    loss rate.
+    """
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Retransmission parameters of the reliable transport mode.
+
+    Attributes:
+        rto_initial: first retransmission timeout after the last progress
+            (ack or send) on a flow.  200 us sits above the paper
+            network's RTT at small quanta but reacts within a handful of
+            large quanta.
+        rto_backoff: multiplicative backoff applied after each timeout.
+        rto_max: ceiling on the backed-off timeout.
+        max_retries: per-frame retransmission budget; exceeding it raises
+            :class:`RetryExhausted` (a deterministic, configured failure —
+            never a hang).
+    """
+
+    rto_initial: SimTime = 200_000
+    rto_backoff: float = 2.0
+    rto_max: SimTime = 5_000_000
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rto_initial < 1:
+            raise ValueError("rto_initial must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be at least 1")
+        if self.rto_max < self.rto_initial:
+            raise ValueError("rto_max must be at least rto_initial")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -57,12 +115,15 @@ class TransportConfig:
             this long are acknowledged anyway.  Without it, a window
             smaller than ``ack_every`` frames deadlocks — the same
             interaction real TCP prevents with its 40-200 ms timer.
+        recovery: retransmission parameters; None (the default) keeps the
+            classic lossless-network transport of paper footnote 1.
     """
 
     window_bytes: int = 65_536
     ack_every: int = 2
     ack_cpu: SimTime = 500
     delack_timeout: SimTime = 100_000
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         if self.window_bytes < 1:
@@ -81,6 +142,21 @@ class _Flow:
 
     outstanding: int = 0
     queued: deque = field(default_factory=deque)
+    # Reliable-mode state (untouched when recovery is off):
+    #: sent-but-unacked frames by (message_id, fragment), in send order.
+    unacked: dict = field(default_factory=dict)
+    #: retransmission count per unacked frame key.
+    retries: dict = field(default_factory=dict)
+    #: current (possibly backed-off) retransmission timeout.
+    rto_current: SimTime = 0
+    #: serial of the live RTO timer event (0 = no timer armed).  Timers
+    #: are never cancelled; a fired timer whose serial does not match is
+    #: stale and ignored (same lazy-staleness pattern as delayed acks).
+    rto_serial: int = 0
+    #: monotonically increasing source of timer serials.
+    next_serial: int = 0
+    #: simulated time of the flow's last progress (send or ack credit).
+    last_progress: SimTime = 0
 
 
 @dataclass
@@ -89,6 +165,10 @@ class TransportStats:
     acks_received: int = 0
     frames_windowed: int = 0  # data frames that had to wait for the window
     stall_time: SimTime = 0  # total queued-waiting time across frames
+    retransmits: int = 0  # frames resent by the recovery path
+    timeouts: int = 0  # RTO expirations that found an unacked frame
+    spurious_retransmits: int = 0  # retransmitted copies of frames that arrived
+    duplicates_dropped: int = 0  # network-duplicated frames suppressed
 
 
 class NodeTransport:
@@ -103,17 +183,23 @@ class NodeTransport:
     def __init__(self, node_id: int, config: TransportConfig) -> None:
         self.node_id = node_id
         self.config = config
+        self.recovery = config.recovery
         self.stats = TransportStats()
         self._flows: dict[int, _Flow] = {}
         self._ack_bytes: dict[int, int] = {}  # unacked received bytes per source
         self._ack_count: dict[int, int] = {}  # frames since last ack per source
+        self._ack_keys: dict[int, list] = {}  # frame keys per source (recovery)
         self._delack_armed: set[int] = set()  # sources with a timer pending
         self._queued_at: dict[int, SimTime] = {}  # packet_id -> queue time
+        self._seen: set = set()  # received (src, message_id, fragment) keys
+        self._timer_requests: list[tuple[SimTime, int, int]] = []
 
     def _flow(self, dst: int) -> _Flow:
         flow = self._flows.get(dst)
         if flow is None:
             flow = _Flow()
+            if self.recovery is not None:
+                flow.rto_current = self.recovery.rto_initial
             self._flows[dst] = flow
         return flow
 
@@ -141,6 +227,7 @@ class NodeTransport:
                 flow.outstanding += frame.size_bytes
                 frame.send_time = pace(now, frame.size_bytes)
                 releasable.append(frame)
+                self._track(frame.dst, flow, frame, now)
             else:
                 flow.queued.append(frame)
                 self._queued_at[frame.packet_id] = now
@@ -158,8 +245,24 @@ class NodeTransport:
         """Credit an acknowledgement; returns frames the credit releases."""
         self.stats.acks_received += 1
         flow = self._flow(ack.src)
-        acked = ack.payload
-        flow.outstanding = max(0, flow.outstanding - acked)
+        if self.recovery is None:
+            acked = ack.payload
+            flow.outstanding = max(0, flow.outstanding - acked)
+        else:
+            # Selective ack: retire exactly the frames the receiver names.
+            # Keys already retired (duplicate acks, acks racing a spurious
+            # retransmission) credit nothing — the ack is idempotent.
+            progressed = False
+            for key in ack.payload:
+                frame = flow.unacked.pop(key, None)
+                if frame is None:
+                    continue
+                flow.retries.pop(key, None)
+                flow.outstanding = max(0, flow.outstanding - frame.size_bytes)
+                progressed = True
+            if progressed:
+                flow.last_progress = now
+                flow.rto_current = self.recovery.rto_initial
         released = []
         while flow.queued and self._fits(flow, flow.queued[0]):
             frame = flow.queued.popleft()
@@ -168,7 +271,92 @@ class NodeTransport:
             released.append(frame)
             queued_at = self._queued_at.pop(frame.packet_id, now)
             self.stats.stall_time += max(0, now - queued_at)
+            self._track(ack.src, flow, frame, now)
         return released
+
+    # ------------------------------------------------------------------ #
+    # Recovery: sender side
+    # ------------------------------------------------------------------ #
+
+    def _track(self, dst: int, flow: _Flow, frame: Packet, now: SimTime) -> None:
+        """Buffer an emitted frame until acked; arm the RTO if idle."""
+        if self.recovery is None:
+            return
+        was_idle = not flow.unacked
+        flow.unacked[(frame.message_id, frame.fragment)] = frame
+        if flow.rto_serial == 0:
+            flow.last_progress = now
+            self._arm(dst, flow, now + flow.rto_current)
+        elif was_idle:
+            # A stale timer is still pending for a flow that had drained;
+            # restart the timeout clock from this send so the old timer
+            # re-arms instead of firing an instant spurious retransmission.
+            flow.last_progress = now
+
+    def _arm(self, dst: int, flow: _Flow, deadline: SimTime) -> None:
+        """Request an RTO timer event; supersedes any live timer for *dst*."""
+        flow.next_serial += 1
+        flow.rto_serial = flow.next_serial
+        self._timer_requests.append((deadline, dst, flow.rto_serial))
+
+    def take_timer_requests(self) -> list[tuple[SimTime, int, int]]:
+        """Drain ``(deadline, dst, serial)`` timer requests for the node
+        runtime to schedule as ``"rto"`` events."""
+        requests = self._timer_requests
+        self._timer_requests = []
+        return requests
+
+    def on_rto(self, dst: int, serial: int, pace, now: SimTime) -> list[Packet]:
+        """An RTO timer fired for the *dst* flow; returns frames to resend.
+
+        A timer whose *serial* does not match the flow's live serial is
+        stale (superseded by a later arm) and ignored.  A live timer that
+        finds recent progress re-arms itself at ``last_progress + rto``
+        without counting a timeout — the restart semantics of a real
+        retransmission timer, built from uncancellable events.
+        """
+        recovery = self.recovery
+        if recovery is None:
+            return []
+        flow = self._flow(dst)
+        if serial != flow.rto_serial:
+            return []
+        if not flow.unacked:
+            flow.rto_serial = 0  # nothing in flight: disarm
+            return []
+        deadline = flow.last_progress + flow.rto_current
+        if now < deadline:
+            self._arm(dst, flow, deadline)
+            return []
+        key, template = next(iter(flow.unacked.items()))
+        retries = flow.retries.get(key, 0) + 1
+        if retries > recovery.max_retries:
+            raise RetryExhausted(
+                f"node {self.node_id}: frame (message {key[0]}, fragment "
+                f"{key[1]}) to node {dst} exhausted its "
+                f"{recovery.max_retries}-retransmission budget"
+            )
+        flow.retries[key] = retries
+        self.stats.timeouts += 1
+        self.stats.retransmits += 1
+        clone = Packet(
+            src=template.src,
+            dst=template.dst,
+            size_bytes=template.size_bytes,
+            send_time=pace(now, template.size_bytes),
+            message_id=template.message_id,
+            fragment=template.fragment,
+            last_fragment=template.last_fragment,
+            payload=template.payload,
+            kind=template.kind,
+            retransmit=retries,
+        )
+        flow.rto_current = min(
+            recovery.rto_max, round(flow.rto_current * recovery.rto_backoff)
+        )
+        flow.last_progress = now
+        self._arm(dst, flow, now + flow.rto_current)
+        return [clone]
 
     # ------------------------------------------------------------------ #
     # Receiver side
@@ -188,11 +376,57 @@ class NodeTransport:
             return None
         return self._emit_ack(packet.src, pending, pace, now)
 
+    def receive_data(
+        self, packet: Packet, pace, now: SimTime
+    ) -> tuple[bool, Optional[Packet]]:
+        """Reliable-mode receive path: ``(accept, ack-or-None)``.
+
+        Duplicate frames — a network-duplicated copy or a spurious
+        retransmission of a frame that already arrived — are suppressed
+        (*accept* False keeps them out of reassembly, whose fragment
+        counting assumes each frame arrives once) but acknowledged
+        **immediately**: the duplicate is evidence the sender is missing
+        an ack, and a prompt cumulative re-ack unwedges its window.
+        Retransmitted frames are likewise acked immediately, first
+        arrival or not.
+        """
+        key = (packet.src, packet.message_id, packet.fragment)
+        duplicate = key in self._seen
+        if duplicate:
+            if packet.retransmit > 0:
+                self.stats.spurious_retransmits += 1
+            else:
+                self.stats.duplicates_dropped += 1
+        else:
+            self._seen.add(key)
+        self._ack_keys.setdefault(packet.src, []).append(
+            (packet.message_id, packet.fragment)
+        )
+        pending = self._ack_bytes.get(packet.src, 0) + packet.size_bytes
+        counter = self._ack_count.get(packet.src, 0) + 1
+        immediate = (
+            duplicate
+            or packet.retransmit > 0
+            or packet.last_fragment
+            or counter >= self.config.ack_every
+        )
+        if not immediate:
+            self._ack_bytes[packet.src] = pending
+            self._ack_count[packet.src] = counter
+            return not duplicate, None
+        return not duplicate, self._emit_ack(packet.src, pending, pace, now)
+
     def _emit_ack(self, src: int, acked_bytes: int, pace, now: SimTime) -> Packet:
         self._ack_bytes[src] = 0
         self._ack_count[src] = 0
         self._delack_armed.discard(src)
         self.stats.acks_sent += 1
+        payload: Any = acked_bytes
+        if self.recovery is not None:
+            # Selective acks name the frames they cover; the sender holds
+            # the authoritative byte sizes in its retransmission buffer.
+            payload = tuple(self._ack_keys.get(src) or ())
+            self._ack_keys[src] = []
         emit_at = pace(now + self.config.ack_cpu, FRAME_HEADER_BYTES)
         return Packet(
             src=self.node_id,
@@ -200,7 +434,7 @@ class NodeTransport:
             size_bytes=FRAME_HEADER_BYTES,
             send_time=emit_at,
             kind="ack",
-            payload=acked_bytes,
+            payload=payload,
         )
 
     def arm_delack(self, src: int) -> bool:
@@ -225,3 +459,7 @@ class NodeTransport:
     def queued_frames(self) -> int:
         """Window-blocked frames across all flows."""
         return sum(len(flow.queued) for flow in self._flows.values())
+
+    def unacked_frames(self) -> int:
+        """Sent-but-unacked frames across all flows (recovery mode only)."""
+        return sum(len(flow.unacked) for flow in self._flows.values())

@@ -15,7 +15,9 @@ matrix.
 """
 
 import json
+import multiprocessing
 import os
+import signal
 
 import pytest
 
@@ -42,6 +44,30 @@ def small_ep():
 
 def small_is():
     return IsWorkload(total_keys=2**15, iterations=2, ops_per_key=16)
+
+
+class KamikazeWorkload(EpWorkload):
+    """EP workload that SIGKILLs the *pool worker* trying to run it.
+
+    In the parent process (serial path, serial fallback) it behaves exactly
+    like a small EP run.  With ``sentinel`` set, the first worker to touch
+    it leaves a marker file before dying, so only one kill ever happens and
+    a rebuilt pool completes the batch.
+    """
+
+    def __init__(self, sentinel: str = "") -> None:
+        super().__init__(total_ops=2e7, chunks=4)
+        self.sentinel = sentinel
+
+    def build_apps(self, size):
+        if multiprocessing.parent_process() is not None:
+            if not self.sentinel:
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif not os.path.exists(self.sentinel):
+                with open(self.sentinel, "w"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+        return super().build_apps(size)
 
 
 class TestParallelSerialEquivalence:
@@ -159,6 +185,29 @@ class TestDiskCache:
         assert fresh.run_spec(small_ep(), 2, paper_policies()[0]) == record
         assert fresh.cache.misses == 1
 
+    def test_unreadable_entry_is_quarantined(self, tmp_path):
+        """Unparseable JSON is moved aside, not retried on every lookup."""
+        runner, payload, record = self._payload_and_record(tmp_path)
+        path = runner.cache._path(payload)
+        path.write_text("{definitely not json")
+        fresh = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        assert fresh.run_spec(small_ep(), 2, paper_policies()[0]) == record
+        assert fresh.cache is not None and fresh.cache.misses == 1
+        assert path.with_suffix(".corrupt").exists()
+        # The slot was rewritten with a good entry by the recompute.
+        assert json.loads(path.read_text())["record"]["metric"] == record.metric
+
+    def test_mismatched_entry_is_not_quarantined(self, tmp_path):
+        """Valid-but-stale entries are plain misses: no ``.corrupt`` litter."""
+        runner, payload, record = self._payload_and_record(tmp_path)
+        path = runner.cache._path(payload)
+        entry = json.loads(path.read_text())
+        entry["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(entry))
+        fresh = ParallelRunner(seed=SEED, max_workers=1, cache_dir=tmp_path)
+        assert fresh.run_spec(small_ep(), 2, paper_policies()[0]) == record
+        assert not path.with_suffix(".corrupt").exists()
+
     def test_truncated_entry_is_a_miss(self, tmp_path):
         runner, payload, record = self._payload_and_record(tmp_path)
         path = runner.cache._path(payload)
@@ -221,3 +270,45 @@ class TestPoolRobustness:
             source == "serial-fallback"
             for _, _, _, source in runner.last_batch_report
         )
+        assert runner.last_fallback_reason is not None
+        assert "not picklable" in runner.last_fallback_reason
+        assert "lambda" in runner.last_fallback_reason  # names the culprit
+
+    def _requests(self, workload_factory, specs):
+        return [(workload_factory(), 2, spec) for spec in specs]
+
+    def test_killed_worker_triggers_one_pool_rebuild(self, tmp_path):
+        """One dead worker costs one rebuild; the pool finishes the batch."""
+        sentinel = str(tmp_path / "killed-once")
+        specs = paper_policies()[:3]
+        runner = ParallelRunner(seed=SEED, max_workers=2, use_cache=False)
+        records = runner.run_many(
+            self._requests(lambda: KamikazeWorkload(sentinel=sentinel), specs)
+        )
+        assert os.path.exists(sentinel)  # a worker really was killed
+        assert len(records) == 3 and all(r is not None for r in records)
+        assert runner.last_fallback_reason == (
+            "worker pool died mid-batch; rebuilding the pool once"
+        )
+        expected = ParallelRunner(seed=SEED, max_workers=1, use_cache=False).run_many(
+            self._requests(KamikazeWorkload, specs)
+        )
+        assert records == expected
+
+    def test_pool_dying_twice_falls_back_to_serial(self):
+        """Workers that always die cannot abort the batch: serial finishes it."""
+        specs = paper_policies()[:2]
+        runner = ParallelRunner(seed=SEED, max_workers=2, use_cache=False)
+        records = runner.run_many(self._requests(KamikazeWorkload, specs))
+        assert len(records) == 2 and all(r is not None for r in records)
+        assert runner.last_fallback_reason == (
+            "worker pool died twice; finishing the batch serially"
+        )
+        assert any(
+            source == "serial-fallback"
+            for _, _, _, source in runner.last_batch_report
+        )
+        expected = ParallelRunner(seed=SEED, max_workers=1, use_cache=False).run_many(
+            self._requests(KamikazeWorkload, specs)
+        )
+        assert records == expected
