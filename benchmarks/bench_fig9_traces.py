@@ -19,21 +19,36 @@ from repro.engine.units import MILLISECOND
 from repro.harness import figures
 from repro.harness.configs import scaleout_configs
 from repro.harness.experiment import ExperimentRunner
+from repro.obs.collector import TraceConfig
+from repro.obs.export import write_chrome_trace
 
 from conftest import BENCH_SEED
 
 
-def runner_factory(record_traffic, timeline_bucket):
-    return ExperimentRunner(
-        seed=BENCH_SEED,
-        record_traffic=record_traffic,
-        timeline_bucket=timeline_bucket,
-    )
+def run_case(name: str, trace: bool = False):
+    """Regenerate one Figure 9 case; optionally with structured tracing.
 
-
-def run_case(name: str):
+    The traffic series always flows through the run's obs collector (the
+    harness installs the TrafficTrace as a packet listener on it); *trace*
+    additionally keeps the full event ring on every run so the adaptive
+    run can be exported as a Chrome trace artifact.
+    """
     config = next(c for c in scaleout_configs() if c.name == name)
-    return figures.figure9(runner_factory, config, bucket=MILLISECOND // 2)
+    runners = []
+
+    def runner_factory(record_traffic, timeline_bucket):
+        runner = ExperimentRunner(
+            seed=BENCH_SEED,
+            record_traffic=record_traffic,
+            timeline_bucket=timeline_bucket,
+            trace=TraceConfig() if trace else None,
+        )
+        runners.append(runner)
+        return runner
+
+    result = figures.figure9(runner_factory, config, bucket=MILLISECOND // 2)
+    traced = [record for runner in runners for record in runner.traced_runs]
+    return result, traced
 
 
 def render(result):
@@ -47,9 +62,19 @@ def render(result):
     )
 
 
-def test_fig9a_ep_trace(benchmark, save_artifact):
-    result = benchmark.pedantic(lambda: run_case("EP"), rounds=1, iterations=1)
+def test_fig9a_ep_trace(benchmark, save_artifact, artifact_dir):
+    result, traced = benchmark.pedantic(
+        lambda: run_case("EP", trace=True), rounds=1, iterations=1
+    )
     save_artifact("fig9a_ep", render(result))
+    # Export the adaptive run as a Perfetto-openable Chrome trace.
+    adaptive = next(r for r in traced if r.policy_label != "1")
+    write_chrome_trace(
+        adaptive.obs,
+        artifact_dir / "fig9a_ep.trace.json",
+        num_nodes=adaptive.size,
+        label=f"EP n={adaptive.size} {adaptive.policy_label}",
+    )
     # EP: mostly silent wire.
     assert result.busy_fraction < 0.25
     # The adaptive run rides high through the silent middle of the run.
@@ -58,7 +83,7 @@ def test_fig9a_ep_trace(benchmark, save_artifact):
 
 
 def test_fig9b_is_trace(benchmark, save_artifact):
-    result = benchmark.pedantic(lambda: run_case("IS"), rounds=1, iterations=1)
+    result, _ = benchmark.pedantic(lambda: run_case("IS"), rounds=1, iterations=1)
     save_artifact("fig9b_is", render(result))
     # IS: periodic bursts — busier than EP (~0.01), quieter than NAMD.
     assert 0.05 < result.busy_fraction < 0.6
@@ -69,7 +94,7 @@ def test_fig9b_is_trace(benchmark, save_artifact):
 
 
 def test_fig9c_namd_trace(benchmark, save_artifact):
-    result = benchmark.pedantic(lambda: run_case("NAMD"), rounds=1, iterations=1)
+    result, _ = benchmark.pedantic(lambda: run_case("NAMD"), rounds=1, iterations=1)
     save_artifact("fig9c_namd", render(result))
     # NAMD: the wire is busy through most of the run (the only quiet
     # stretches are the sub-ms tails of each step's integration).

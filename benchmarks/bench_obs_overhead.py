@@ -1,0 +1,82 @@
+"""Overhead of the structured trace subsystem (repro.obs).
+
+Runs the Section 6 scale-out EP and IS cases under the adaptive policy
+three times each — tracing off, ring-buffer collector, and streaming
+JSONL sink — and reports the host wall-clock cost of each mode.  Tracing
+is observational only, so all three modes must report bit-identical
+simulation results; the null-collector fast path keeps the "off" mode at
+the seed's speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.configs import PolicySpec, scaleout_configs
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.report import format_table
+from repro.obs.collector import TraceConfig
+
+from conftest import BENCH_SEED
+
+#: Traced runs must stay within this factor of the untraced wall clock
+#: (loose: the JSONL sink's cost is I/O-bound and machine-dependent).
+MAX_OVERHEAD = 10.0
+
+
+def _run(name, trace, tmp_path):
+    config = next(c for c in scaleout_configs() if c.name == name)
+    runner = ExperimentRunner(seed=BENCH_SEED, trace=trace)
+    started = time.perf_counter()
+    record = runner.run_spec(
+        config.workload_factory(),
+        config.size,
+        PolicySpec(config.dyn_label, config.dyn_factory),
+    )
+    elapsed = time.perf_counter() - started
+    return record, elapsed
+
+
+def _case(name, tmp_path):
+    modes = [
+        ("off", None),
+        ("ring", TraceConfig()),
+        ("jsonl", TraceConfig(jsonl_path=tmp_path / f"{name}.jsonl")),
+    ]
+    rows = []
+    records = {}
+    baseline = None
+    for label, trace in modes:
+        record, elapsed = _run(name, trace, tmp_path)
+        records[label] = record
+        if label == "off":
+            baseline = elapsed
+        events = len(record.obs) if record.obs is not None else 0
+        rows.append(
+            [f"{name} {label}", f"{elapsed:.3f}s",
+             f"{elapsed / baseline:.2f}x", events]
+        )
+    # Tracing is observational: every mode reports the same simulation.
+    assert records["ring"].result == records["off"].result
+    assert records["jsonl"].result == records["off"].result
+    for row in rows:
+        assert float(row[2].rstrip("x")) < MAX_OVERHEAD, row
+    return rows
+
+
+def test_obs_overhead(benchmark, save_artifact, tmp_path):
+    def run_all():
+        rows = []
+        for name in ("EP", "IS"):
+            rows.extend(_case(name, tmp_path))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "obs_overhead",
+        format_table(
+            ["mode", "wall", "vs off", "events"],
+            rows,
+            "Trace subsystem overhead (64-node scale-out, adaptive)",
+        ),
+    )

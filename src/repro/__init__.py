@@ -32,6 +32,7 @@ Layer map (each is a subpackage with its own docs):
 - :mod:`repro.mpi` — message-passing library over the simulated network.
 - :mod:`repro.workloads` — NAS kernels, NAMD, synthetic workloads.
 - :mod:`repro.metrics` — accuracy, Pareto, and traffic analyses.
+- :mod:`repro.obs` — structured tracing, Chrome-trace export, trace diff.
 - :mod:`repro.harness` — the paper's experiment matrix, figures, CLI.
 """
 
@@ -59,6 +60,7 @@ from repro.harness import (
 )
 from repro.mpi import MpiRank, spmd_apps
 from repro.network import NetworkController, PAPER_NETWORK, Packet
+from repro.obs import TraceCollector, TraceConfig, diff_traces, write_chrome_trace
 from repro.node import (
     CpuModel,
     HostModelParams,
@@ -110,6 +112,11 @@ __all__ = [
     # mpi
     "MpiRank",
     "spmd_apps",
+    # obs
+    "TraceConfig",
+    "TraceCollector",
+    "write_chrome_trace",
+    "diff_traces",
     # workloads
     "Workload",
     "EpWorkload",

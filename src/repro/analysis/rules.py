@@ -48,7 +48,7 @@ from typing import Iterable, Optional, Union
 
 #: Packages under ``repro`` that form the deterministic simulation core.
 SIM_CORE_PACKAGES = frozenset(
-    {"engine", "core", "network", "node", "mpi", "workloads", "faults"}
+    {"engine", "core", "network", "node", "mpi", "workloads", "faults", "obs"}
 )
 
 #: One-line description per rule, keyed by code.

@@ -55,6 +55,7 @@ from repro.node.hostmodel import BUSY, HostExecutionModel, HostModelParams
 from repro.node.node import NodeStats, SimulatedNode
 from repro.node.sampling import SampledHostExecutionModel, SamplingSchedule
 from repro.node.transport import TransportStats
+from repro.obs.collector import TraceCollector, TraceConfig
 
 
 class DeadlockError(RuntimeError):
@@ -86,6 +87,9 @@ class ClusterConfig:
             keeps the paper's ideal network and healthy hosts.  A plan
             that can lose or duplicate frames requires every node to run
             a recovery-enabled transport.
+        trace: record structured trace events (see :mod:`repro.obs`);
+            None disables tracing entirely.  Tracing only observes:
+            a traced run's results are bit-identical to an untraced one.
     """
 
     seed: int = 42
@@ -99,6 +103,7 @@ class ClusterConfig:
     sampling: Optional[SamplingSchedule] = None
     check: Optional[bool] = None
     faults: Optional[FaultPlan] = None
+    trace: Optional[TraceConfig] = None
 
 
 @dataclass
@@ -265,10 +270,15 @@ class ClusterSimulator:
         if check_enabled(self.config.check):
             self.sanitizer = CausalitySanitizer.for_cluster(self)
         controller.sanitizer = self.sanitizer
+        self.collector: Optional[TraceCollector] = None
+        if self.config.trace is not None:
+            self.collector = TraceCollector(self.config.trace)
+        controller.collector = self.collector
         self._clocks = [_NodeClock() for _ in nodes]
         for node in nodes:
             node.emit_hook = self._on_emit
             node.activity_hook = self._on_activity_change
+            node.collector = self.collector
             node.start()
         self._window: tuple[SimTime, SimTime] = (0, 0)
         self._host_window_start: float = 0.0
@@ -340,6 +350,7 @@ class ClusterSimulator:
         policy = self.policy
         sanitizer = self.sanitizer
         injector = self.injector
+        collector = self.collector
         num_nodes = len(nodes)
         barrier_cost = config.barrier.overhead(num_nodes)
 
@@ -376,6 +387,8 @@ class ClusterSimulator:
             self._window = (start, end)
             if sanitizer is not None:
                 sanitizer.on_quantum_start(start, end)
+            if collector is not None:
+                collector.quantum_begin(start, end)
             self._host_window_start = host
             for node, clock, model in zip(nodes, self._clocks, self.host_models):
                 busy_slowdown, idle_slowdown = model.slowdown_pair(start)
@@ -430,6 +443,10 @@ class ClusterSimulator:
                 quantum_stats.record(window)
                 if timeline is not None and node_cost > 0:
                     timeline.add_span(start, max(last, start + 1), node_cost)
+                if collector is not None:
+                    collector.quantum_end(
+                        start, end, np_count, "final", window, node_cost, 0.0
+                    )
                 now = max(last, start + 1)
                 break
             node_cost = max(clock.finish_host(end) for clock in self._clocks) - host
@@ -438,7 +455,25 @@ class ClusterSimulator:
             quantum_stats.record(window)
             if timeline is not None:
                 timeline.add_span(start, end, node_cost + barrier_cost)
-            q_state = policy.next(q_state, np_count)
+            next_state = policy.next(q_state, np_count)
+            if collector is not None:
+                if collector.config.barriers:
+                    finishes = [clock.finish_host(end) for clock in self._clocks]
+                    slowest = max(finishes)
+                    for node_id, finish in enumerate(finishes):
+                        collector.barrier_wait(node_id, end, slowest - finish)
+                next_window = policy.window(next_state)
+                if next_window > window:
+                    decision = "grow"
+                elif next_window < window:
+                    decision = "shrink"
+                else:
+                    decision = "hold"
+                collector.quantum_end(
+                    start, end, np_count, decision, next_window,
+                    node_cost, barrier_cost,
+                )
+            q_state = next_state
             now = end
 
         return self._result(now, host, True, breakdown, quantum_stats, timeline)
@@ -532,6 +567,7 @@ class ClusterSimulator:
         activities = [node.activity for node in self.nodes]
         sanitizer = self.sanitizer
         injector = self.injector
+        collector = self.collector
         stalled = injector is not None and bool(injector.plan.stalls)
         while True:
             lengths, next_state = self.policy.idle_chunk(
@@ -572,6 +608,8 @@ class ClusterSimulator:
                 sanitizer.on_fast_forward(
                     now, span, count, horizon, self.controller.next_held_time()
                 )
+            if collector is not None:
+                collector.fast_forward(now, span, count, node_cost, barrier_total)
             if timeline is not None:
                 timeline.add_span(now, now + span, node_cost + barrier_total)
             now += span
@@ -635,4 +673,6 @@ class ClusterSimulator:
         )
         if self.sanitizer is not None:
             self.sanitizer.on_run_end(result)
+        if self.collector is not None:
+            self.collector.flush()
         return result

@@ -9,6 +9,7 @@ Regenerates any of the paper's figures or tables from the terminal::
     repro-cluster fig9 --case NAMD  # traffic + speedup-over-time
     repro-cluster sweep --workload IS
     repro-cluster fig6 --faults lossy-1   # same matrix over a lossy fabric
+    repro-cluster sec6 --case IS --trace traces/ --trace-diff
 """
 
 from __future__ import annotations
@@ -17,15 +18,20 @@ import argparse
 import dataclasses
 import sys
 import time
+from pathlib import Path
 from typing import Optional
 
 from repro.engine.units import MILLISECOND
 from repro.faults.plan import PRESETS, FaultPlan, load_plan
 from repro.harness import figures
-from repro.harness.configs import scaleout_configs
+from repro.harness.configs import GROUND_TRUTH_LABEL, scaleout_configs
+from repro.harness.experiment import ExperimentRecord, ExperimentRunner
 from repro.harness.parallel import ParallelRunner
 from repro.harness.sweep import sweep_inc_dec
 from repro.node.transport import RecoveryConfig, TransportConfig
+from repro.obs.collector import TraceConfig, run_slug
+from repro.obs.diff import diff_traces
+from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.workloads import (
     CgWorkload,
     EpWorkload,
@@ -87,6 +93,27 @@ def _parser() -> argparse.ArgumentParser:
         f"({', '.join(sorted(PRESETS))}) or a JSON fault-plan file; plans "
         "that can lose frames automatically enable the recovery transport",
     )
+    common.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="record a structured trace of every run and export one file "
+        "per run into DIR (traced runs bypass the result cache)",
+    )
+    common.add_argument(
+        "--trace-format",
+        choices=["chrome", "jsonl"],
+        default=argparse.SUPPRESS,
+        help="trace export format: 'chrome' (default; open in Perfetto / "
+        "chrome://tracing) or 'jsonl' (one event object per line)",
+    )
+    common.add_argument(
+        "--trace-diff",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="after the runs, diff each traced run against its Q<=T "
+        "ground-truth trace by packet identity (implies tracing)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-cluster",
@@ -145,6 +172,54 @@ def _scaleout(case: str):
     raise SystemExit(f"unknown case {case!r}")
 
 
+def _export_traces(
+    records: list[ExperimentRecord], directory: str, fmt: str
+) -> None:
+    """Write one trace file per traced record into *directory*."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    for record in records:
+        assert record.obs is not None
+        slug = run_slug(record.workload_name, record.size, record.policy_label)
+        if fmt == "chrome":
+            path = out / f"{slug}.trace.json"
+            write_chrome_trace(record.obs, path, num_nodes=record.size, label=slug)
+        else:
+            path = out / f"{slug}.jsonl"
+            write_jsonl(record.obs, path)
+        print(f"[trace] wrote {path}", file=sys.stderr)
+
+
+def _render_trace_diffs(records: list[ExperimentRecord]) -> None:
+    """Diff every traced run against the ground-truth trace of its cell."""
+    groups: dict[tuple[str, int], list[ExperimentRecord]] = {}
+    for record in records:
+        groups.setdefault((record.workload_name, record.size), []).append(record)
+    for (workload_name, size), group in sorted(groups.items()):
+        truth = next(
+            (r for r in group if r.policy_label == GROUND_TRUTH_LABEL), None
+        )
+        if truth is None:
+            print(
+                f"[trace-diff] {workload_name} n={size}: no ground-truth "
+                f"(label {GROUND_TRUTH_LABEL!r}) trace in this batch; skipping",
+                file=sys.stderr,
+            )
+            continue
+        for record in group:
+            if record is truth:
+                continue
+            assert record.obs is not None and truth.obs is not None
+            diff = diff_traces(
+                record.obs,
+                truth.obs,
+                run_label=f"{workload_name} n={size} {record.policy_label}",
+                truth_label=f"Q<={GROUND_TRUTH_LABEL}us ground truth",
+            )
+            print()
+            print(diff.render())
+
+
 def _with_recovery(
     transport: Optional[TransportConfig], faults: Optional[FaultPlan]
 ) -> Optional[TransportConfig]:
@@ -184,6 +259,17 @@ def _main(argv: list[str] | None = None) -> int:
     if faults is not None:
         recovery = " (recovery transport enabled)" if faults.requires_recovery() else ""
         print(f"[faults] {faults.describe()}{recovery}", file=sys.stderr)
+    args.trace = getattr(args, "trace", None)
+    args.trace_format = getattr(args, "trace_format", "chrome")
+    args.trace_diff = getattr(args, "trace_diff", False)
+    trace_config = (
+        TraceConfig() if (args.trace is not None or args.trace_diff) else None
+    )
+    if trace_config is not None and args.command == "sampling":
+        raise SystemExit("--trace/--trace-diff are not supported for 'sampling'")
+    # Figure orchestrators that build their own runners (fig9, transport)
+    # append them here so their traced runs are exported/diffed too.
+    extra_runners: list[ExperimentRunner] = []
     started = time.time()
     runner = ParallelRunner(
         seed=args.seed,
@@ -194,6 +280,7 @@ def _main(argv: list[str] | None = None) -> int:
         faults=faults,
         transport=_with_recovery(None, faults),
         progress=True,
+        trace=trace_config,
     )
 
     if args.command == "fig6":
@@ -217,10 +304,11 @@ def _main(argv: list[str] | None = None) -> int:
             print(f"paper reported: {result.paper_rows}\n")
     elif args.command == "fig9":
         config = _scaleout(args.case)
+
         # Traced/timelined runs are never cached, but the parallel runner
         # still provides progress reporting.
-        result = figures.figure9(
-            lambda record_traffic, timeline_bucket: ParallelRunner(
+        def fig9_runner(record_traffic: bool, timeline_bucket) -> ParallelRunner:
+            created = ParallelRunner(
                 seed=args.seed,
                 record_traffic=record_traffic,
                 timeline_bucket=timeline_bucket,
@@ -229,10 +317,12 @@ def _main(argv: list[str] | None = None) -> int:
                 faults=faults,
                 transport=_with_recovery(None, faults),
                 progress=True,
-            ),
-            config,
-            bucket=MILLISECOND,
-        )
+                trace=trace_config,
+            )
+            extra_runners.append(created)
+            return created
+
+        result = figures.figure9(fig9_runner, config, bucket=MILLISECOND)
         print(result.render())
     elif args.command == "sweep":
         workload = _WORKLOADS[args.workload]()
@@ -261,7 +351,9 @@ def _main(argv: list[str] | None = None) -> int:
                 cache_dir=args.cache_dir,
                 check=args.check,
                 faults=faults,
+                trace=trace_config,
             )
+            extra_runners.append(transport_runner)
             workload = StreamWorkload()
             transport_runner.ground_truth(workload, 2)
             for spec in [
@@ -310,6 +402,14 @@ def _main(argv: list[str] | None = None) -> int:
                 for (a, b), r in results.items()]
         print(format_table(["configuration", "host time", "speedup"], rows,
                            "Adaptive quantum x sampling (8-node EP)"))
+
+    traced = list(runner.traced_runs)
+    for extra in extra_runners:
+        traced.extend(extra.traced_runs)
+    if args.trace is not None and traced:
+        _export_traces(traced, args.trace, args.trace_format)
+    if args.trace_diff:
+        _render_trace_diffs(traced)
 
     print(f"\n[{time.time() - started:.1f}s]", file=sys.stderr)
     return 0

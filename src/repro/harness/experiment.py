@@ -24,7 +24,16 @@ from repro.network.latency import PAPER_NETWORK, LatencyModel
 from repro.node.hostmodel import HostModelParams
 from repro.node.node import SimulatedNode
 from repro.node.transport import TransportConfig
+from repro.obs.collector import TraceCollector, TraceConfig
 from repro.workloads.base import Workload
+
+#: Collector settings used when only a :class:`TrafficTrace` is wanted:
+#: the collector acts as a pure conduit (no ring, packet events only)
+#: feeding the trace's ``record`` hook, so traffic recording and full
+#: tracing share one code path through the controller.
+_TRAFFIC_CONDUIT = TraceConfig(
+    capacity=0, quanta=False, barriers=False, faults=False, transport=False
+)
 
 
 @dataclass
@@ -38,6 +47,9 @@ class ExperimentRecord:
     metric: float
     result: RunResult
     trace: Optional[TrafficTrace] = None
+    #: Structured trace of the run (see :mod:`repro.obs`); populated only
+    #: when the runner was constructed with ``trace=TraceConfig(...)``.
+    obs: Optional[TraceCollector] = None
 
 
 @dataclass
@@ -76,6 +88,7 @@ class ExperimentRunner:
         transport: Optional[TransportConfig] = None,
         check: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
+        trace: Optional[TraceConfig] = None,
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -86,6 +99,11 @@ class ExperimentRunner:
         self.transport = transport
         self.check = check
         self.faults = faults
+        self.trace = trace
+        #: Records carrying a structured trace, in completion order (the
+        #: CLI exports/diffs these after the figure orchestrators, which
+        #: return rendered rows rather than records).
+        self.traced_runs: list[ExperimentRecord] = []
         self._ground_truth: dict[tuple[str, int], ExperimentRecord] = {}
 
     # ------------------------------------------------------------------ #
@@ -106,10 +124,16 @@ class ExperimentRunner:
             for rank, app in enumerate(apps)
         ]
         latency: LatencyModel = self.latency_factory(size)
+        # Traffic recording and structured tracing share one code path:
+        # the controller feeds the obs collector, and a TrafficTrace (when
+        # requested) is just a packet listener on that collector.
         trace = TrafficTrace(size) if self.record_traffic else None
-        controller = NetworkController(
-            size, latency, trace=trace.record if trace else None
+        trace_config = (
+            self.trace.for_run(workload.name, size, label or policy.describe())
+            if self.trace is not None
+            else (_TRAFFIC_CONDUIT if trace is not None else None)
         )
+        controller = NetworkController(size, latency)
         config = ClusterConfig(
             seed=self.seed,
             host_params=self.host_params,
@@ -117,9 +141,16 @@ class ExperimentRunner:
             timeline_bucket=self.timeline_bucket,
             check=self.check,
             faults=self.faults,
+            trace=trace_config,
         )
         simulator = ClusterSimulator(nodes, controller, policy, config)
+        if trace is not None:
+            assert simulator.collector is not None
+            simulator.collector.add_packet_listener(trace.record)
         result = simulator.run()
+        collector = simulator.collector if self.trace is not None else None
+        if collector is not None:
+            collector.close()
         if not result.completed:
             raise RuntimeError(
                 f"{workload.name} at {size} nodes under {label or policy.describe()} "
@@ -128,7 +159,7 @@ class ExperimentRunner:
                 f"{format_time(config.sim_time_limit)}); raise "
                 f"ClusterConfig.sim_time_limit or shrink the workload"
             )
-        return ExperimentRecord(
+        record = ExperimentRecord(
             workload_name=workload.name,
             size=size,
             policy_label=label or policy.describe(),
@@ -136,7 +167,11 @@ class ExperimentRunner:
             metric=workload.metric(result),
             result=result,
             trace=trace,
+            obs=collector,
         )
+        if collector is not None:
+            self.traced_runs.append(record)
+        return record
 
     def run_spec(self, workload: Workload, size: int, spec: PolicySpec) -> ExperimentRecord:
         return self.run(workload, size, spec.build(), label=spec.label)

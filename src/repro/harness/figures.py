@@ -344,7 +344,9 @@ def figure9(
     """
     # Ground-truth run gives the baseline host-per-sim-second rate and the
     # traffic trace (the paper's left charts show the application's own
-    # traffic, which the ground truth renders undistorted).
+    # traffic, which the ground truth renders undistorted).  The traffic
+    # samples come from the run's obs collector: record_traffic installs a
+    # TrafficTrace as a packet listener on it (see ExperimentRunner.run).
     truth_runner: ExperimentRunner = runner_factory(
         record_traffic=True, timeline_bucket=bucket
     )

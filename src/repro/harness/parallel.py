@@ -69,6 +69,7 @@ from repro.network.latency import PAPER_NETWORK
 from repro.node.hostmodel import HostModelParams
 from repro.node.node import NodeStats
 from repro.node.transport import TransportConfig, TransportStats
+from repro.obs.collector import TraceConfig
 from repro.workloads.base import Workload
 
 #: Bump whenever the cached-record schema or run semantics change; every
@@ -134,6 +135,11 @@ class RunnerSettings:
     # to an unchecked one, so sanitized and plain runs share cache entries.
     check: Optional[bool] = None
     faults: Optional[FaultPlan] = None
+    # Also absent from key_fragment(): tracing only observes, so a traced
+    # run's result hashes (and computes) exactly as an untraced one — but
+    # traced runs are never cached (see ``cacheable``), so fault-free
+    # cache keys stay byte-identical to pre-trace harness versions.
+    trace: Optional[TraceConfig] = None
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -146,12 +152,17 @@ class RunnerSettings:
             transport=self.transport,
             check=self.check,
             faults=self.faults,
+            trace=self.trace,
         )
 
     @property
     def cacheable(self) -> bool:
         """Traces and timelines do not round-trip through the cache."""
-        return self.timeline_bucket is None and not self.record_traffic
+        return (
+            self.timeline_bucket is None
+            and not self.record_traffic
+            and self.trace is None
+        )
 
     def key_fragment(self, size: int) -> dict:
         factory = self.latency_factory
@@ -217,7 +228,7 @@ class RunSpec:
 def record_to_json(record: ExperimentRecord) -> dict:
     """Encode a finished record as plain JSON (no trace/timeline)."""
     result = record.result
-    if result.timeline is not None or record.trace is not None:
+    if result.timeline is not None or record.trace is not None or record.obs is not None:
         raise Uncacheable("runs with traces or timelines are not cacheable")
     encoded = {
         "sim_time": result.sim_time,
@@ -457,6 +468,7 @@ class ParallelRunner(ExperimentRunner):
         transport: Optional[TransportConfig] = None,
         check: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
+        trace: Optional[TraceConfig] = None,
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -473,6 +485,7 @@ class ParallelRunner(ExperimentRunner):
             transport=transport,
             check=check,
             faults=faults,
+            trace=trace,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -484,6 +497,7 @@ class ParallelRunner(ExperimentRunner):
             transport=transport,
             check=check,
             faults=faults,
+            trace=trace,
         )
         self.max_workers = max_workers
         self.progress = progress
@@ -608,11 +622,21 @@ class ParallelRunner(ExperimentRunner):
             return records  # type: ignore[return-value]
 
         fallback = self._run_pool(specs, pending, records, workers, done, total)
+        fallback_set = set(fallback)
         for index in fallback:
             record, wall = self._run_local(specs[index], payloads[index])
             records[index] = record
             done = sum(1 for r in records if r is not None)
             self._note(done, total, specs[index], wall, "serial-fallback")
+        # Worker-computed records crossed the process boundary with their
+        # collectors pickled along; register them (the local/fallback path
+        # already registered its own through ExperimentRunner.run).
+        for index in pending:
+            if index in fallback_set:
+                continue
+            finished = records[index]
+            if finished is not None and finished.obs is not None:
+                self.traced_runs.append(finished)
         return records  # type: ignore[return-value]
 
     def _run_pool(

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import unicodedata
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cluster import RunResult
+
+
+def display_width(text: str) -> int:
+    """Terminal cell count of *text*: CJK wide/fullwidth glyphs span two."""
+    return sum(
+        2 if unicodedata.east_asian_width(char) in ("W", "F") else 1
+        for char in text
+    )
 
 
 def format_table(
@@ -13,22 +22,27 @@ def format_table(
     rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Render a simple aligned table (first column left, rest right)."""
+    """Render a simple aligned table (first column left, rest right).
+
+    Column widths are measured in terminal display cells (see
+    :func:`display_width`), so wide-unicode labels stay aligned.
+    """
     rendered_rows = [[str(cell) for cell in row] for row in rows]
-    widths = [len(header) for header in headers]
+    widths = [display_width(header) for header in headers]
     for row in rendered_rows:
         if len(row) != len(headers):
             raise ValueError(f"row width {len(row)} != header width {len(headers)}")
         for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
+            widths[index] = max(widths[index], display_width(cell))
 
     def render(cells: Sequence[str]) -> str:
         parts = []
         for index, cell in enumerate(cells):
+            pad = " " * (widths[index] - display_width(cell))
             if index == 0:
-                parts.append(cell.ljust(widths[index]))
+                parts.append(cell + pad)
             else:
-                parts.append(cell.rjust(widths[index]))
+                parts.append(pad + cell)
         return "  ".join(parts).rstrip()
 
     lines = []

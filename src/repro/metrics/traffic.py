@@ -2,11 +2,16 @@
 
 The figure plots one horizontal line per node against time, with a line
 drawn from source to destination for each exchanged packet.  We record
-``(send_time, src, dst, size)`` tuples from the controller's trace hook,
-bucket them over time, and render either CSV (for external plotting) or an
-ASCII chart (nodes x time, a mark wherever a node sent or received in the
-bucket) that makes the traffic shape — EP's silence, IS's periodic bursts,
-NAMD's continuous wall — visible in a terminal.
+``(send_time, src, dst, size)`` tuples, bucket them over time, and render
+either CSV (for external plotting) or an ASCII chart (nodes x time, a mark
+wherever a node sent or received in the bucket) that makes the traffic
+shape — EP's silence, IS's periodic bursts, NAMD's continuous wall —
+visible in a terminal.
+
+The harness feeds a trace by registering :meth:`TrafficTrace.record` as a
+packet listener on the run's :class:`repro.obs.collector.TraceCollector`
+(a zero-ring conduit when only traffic is wanted), so traffic recording
+and full structured tracing share one controller code path.
 """
 
 from __future__ import annotations

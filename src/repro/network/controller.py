@@ -35,6 +35,7 @@ from repro.network.packet import Packet
 if TYPE_CHECKING:  # pragma: no cover - the sanitizer imports this module
     from repro.analysis.invariants import CausalitySanitizer
     from repro.faults.injector import FaultInjector
+    from repro.obs.collector import TraceCollector
 
 
 class ClusterState(Protocol):
@@ -134,6 +135,11 @@ class NetworkController:
         #: set by the driver when the run carries a fault plan (the clean
         #: path pays a single ``is None`` test per frame).
         self.injector: Optional["FaultInjector"] = None
+        #: Trace collector observing every delivery decision and fault
+        #: verdict; set by the driver when the run is traced (see
+        #: :mod:`repro.obs`).  The legacy ``trace`` callable above remains
+        #: for direct construction; the harness routes through this.
+        self.collector: Optional["TraceCollector"] = None
         self._future: list[tuple[SimTime, int, DeliveryDecision]] = []
         self._future_seq = 0
 
@@ -205,10 +211,15 @@ class NetworkController:
         """
         assert self.injector is not None
         verdict = self.injector.link_verdict(packet, dst, protected)
+        collector = self.collector
         if verdict.drop:
             if self.sanitizer is not None:
                 self.sanitizer.on_fault_drop(packet, dst, verdict.drop_reason)
+            if collector is not None:
+                collector.on_fault(packet, dst, f"drop:{verdict.drop_reason}")
             return
+        if collector is not None and verdict.extra_latency > 0:
+            collector.on_fault(packet, dst, "delay", verdict.extra_latency)
         decision = self._decide(packet, dst, sender_host_time, verdict.extra_latency)
         self._account(decision)
         if decision.immediate:
@@ -216,6 +227,10 @@ class NetworkController:
         else:
             self._hold(decision)
         if verdict.duplicate:
+            if collector is not None:
+                collector.on_fault(
+                    packet, dst, "duplicate", verdict.dup_extra_latency
+                )
             copy = packet.clone_for(dst)
             duplicate = self._decide(
                 copy, dst, sender_host_time, verdict.dup_extra_latency
@@ -285,6 +300,8 @@ class NetworkController:
             stats.max_delay_error = error
         if self.sanitizer is not None:
             self.sanitizer.on_decision(decision)
+        if self.collector is not None:
+            self.collector.on_packet(decision.packet, kind.value)
         if self.trace is not None:
             packet = decision.packet
             self.trace(packet.send_time, packet.src, packet.dst, packet.size_bytes)

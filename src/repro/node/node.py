@@ -19,7 +19,7 @@ it only ever interacts with the world through timestamped packet emissions
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.engine.events import Event, EventQueue
 from repro.engine.process import Process, ProcessExit
@@ -30,6 +30,9 @@ from repro.node.hostmodel import BUSY, IDLE
 from repro.node.nic import Message, NicModel
 from repro.node.requests import Compute, ComputeTime, Recv, Request, Send, Sleep
 from repro.node.transport import NodeTransport, TransportConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.collector import TraceCollector
 
 
 @dataclass
@@ -102,6 +105,9 @@ class SimulatedNode:
         self.activity_hook: Optional[
             Callable[["SimulatedNode", SimTime, str], None]
         ] = None
+        #: Driver-installed trace collector (None when the run is untraced;
+        #: every hook site pays one ``is None`` test).
+        self.collector: Optional["TraceCollector"] = None
 
     def _set_activity(self, now: SimTime, activity: str) -> None:
         if activity == self.activity:
@@ -144,6 +150,8 @@ class SimulatedNode:
             dst, serial = event.payload
             for frame in self.transport.on_rto(dst, serial, self.nic.pace, event.time):
                 self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+                if self.collector is not None:
+                    self.collector.on_retransmit(self.node_id, frame, event.time)
             self._drain_transport_timers()
         else:
             raise RuntimeError(f"{self.name}: unknown event tag {event.tag!r}")

@@ -210,11 +210,65 @@ class TestReportFormatting:
     def test_format_table_rejects_ragged_rows(self):
         with pytest.raises(ValueError):
             format_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "extra"]])
+
+    def test_format_table_empty_rows(self):
+        # No data rows: just the (optional) title, header, and separator.
+        text = format_table(["col-a", "b"], [])
+        lines = text.splitlines()
+        assert lines == ["col-a  b", "-----  -"]
+        titled = format_table(["col-a", "b"], [], "Empty")
+        assert titled.splitlines()[0] == "Empty"
+
+    def test_format_table_wide_unicode_alignment(self):
+        # CJK glyphs occupy two terminal cells; columns must still line up.
+        from repro.harness.report import display_width
+
+        assert display_width("節點") == 4
+        assert display_width("ascii") == 5
+        text = format_table(
+            ["name", "value"], [["節點", 1], ["ascii-node", 22]]
+        )
+        lines = text.splitlines()
+        widths = {display_width(line) for line in lines[1:]}
+        # Both data rows end at the same display column (value is
+        # right-aligned; trailing whitespace is stripped).
+        assert len(widths) == 1
+        assert lines[2].endswith(" 1") and lines[3].endswith("22")
 
     def test_helpers(self):
         assert percent(0.1234) == "12.34%"
         assert times(2.5) == "2.5x"
         assert microseconds(1500) == "1.5us"
+
+    def test_fault_report_empty_without_stats(self):
+        from repro.harness.report import fault_report
+
+        class _Result:
+            fault_stats = None
+            transport_stats = None
+
+        assert fault_report([("run-a", _Result()), ("run-b", _Result())]) == ""
+        assert fault_report([]) == ""
+
+    def test_fault_report_renders_zero_fault_runs(self):
+        from repro.faults.injector import FaultStats
+        from repro.harness.report import fault_report
+
+        class _Result:
+            # A fault plan was configured but never fired: the stats block
+            # exists with all-zero counters and must render as zeros, not
+            # dashes (dashes mean "no injector at all").
+            fault_stats = FaultStats()
+            transport_stats = None
+
+        text = fault_report([("quiet", _Result())])
+        assert "Fault injection and transport recovery" in text
+        row = text.splitlines()[-1]
+        assert row.startswith("quiet")
+        assert row.split()[1:5] == ["0", "0", "0", "0"]
+        assert row.split()[5:] == ["-", "-", "-"]
 
 
 class TestCli:

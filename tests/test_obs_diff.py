@@ -1,0 +1,180 @@
+"""Trace diff against the Q<=T ground truth (the paper's Section 5 claim).
+
+Acceptance property: diffing an adaptive run against the conservative
+ground truth reports zero lag for every non-straggler packet — the
+adaptive quantum's *only* per-packet accuracy cost is straggler lag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantum import AdaptiveQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness.configs import PolicySpec, ground_truth_policy
+from repro.harness.experiment import ExperimentRunner
+from repro.obs.collector import TraceCollector, TraceConfig
+from repro.obs.diff import diff_traces
+from repro.obs.events import PacketTrace
+from repro.workloads import IsWorkload, PingPongWorkload
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def is_pair():
+    """(adaptive record, ground-truth record) for a 4-node IS run."""
+    runner = ExperimentRunner(seed=SEED, trace=TraceConfig(), check=True)
+    workload = IsWorkload(total_keys=2**15, iterations=2, ops_per_key=16)
+    truth = runner.run_spec(workload, 4, ground_truth_policy())
+    # An aggressive grow/slow shrink keeps the quantum above T through
+    # IS's bursts, so the run actually produces stragglers to attribute.
+    adaptive = runner.run_spec(
+        workload,
+        4,
+        PolicySpec(
+            "dyn",
+            lambda: AdaptiveQuantumPolicy(
+                MICROSECOND, 1000 * MICROSECOND, inc=1.3, dec=0.9
+            ),
+        ),
+    )
+    return adaptive, truth
+
+
+class TestDiffAgainstGroundTruth:
+    def test_zero_lag_for_non_stragglers(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        assert diff.matched, "expected the traces to align"
+        assert diff.non_straggler_lag_violations() == []
+
+    def test_every_frame_aligns(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        # Same workload, same seed, no faults: both executions exchange
+        # exactly the same frames.
+        assert diff.only_in_run == 0
+        assert diff.only_in_truth == 0
+        assert len(diff.matched) == adaptive.result.controller_stats.packets_routed
+
+    def test_straggler_totals_match_stats(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        stats = adaptive.result.controller_stats
+        assert diff.straggler_count == stats.stragglers
+        assert diff.lag_total == stats.total_delay_error
+        assert diff.max_lag == stats.max_delay_error
+
+    def test_ground_truth_self_diff_is_exact(self, is_pair):
+        _, truth = is_pair
+        diff = diff_traces(truth.obs, truth.obs)
+        assert diff.straggler_count == 0
+        assert diff.lag_total == 0
+        assert all(lag.skew == 0 for lag in diff.matched)
+
+    def test_phase_attribution_sums_to_totals(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        rows = diff.phase_attribution(phases=6)
+        assert len(rows) == 6
+        assert sum(row.packets for row in rows) == len(diff.matched)
+        assert sum(row.stragglers for row in rows) == diff.straggler_count
+        assert sum(row.lag_total for row in rows) == diff.lag_total
+        with pytest.raises(ValueError):
+            diff.phase_attribution(phases=0)
+
+    def test_render_smoke(self, is_pair):
+        adaptive, truth = is_pair
+        text = diff_traces(adaptive.obs, truth.obs, "dyn", "1us").render()
+        assert "trace diff: dyn vs 1us" in text
+        assert "non-straggler lag violations: 0" in text
+        assert "Per-phase error attribution" in text
+
+    def test_lag_percentiles_monotone(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        percentiles = diff.lag_percentiles()
+        if diff.straggler_count:
+            assert percentiles[50] <= percentiles[90] <= percentiles[99]
+            assert percentiles[99] <= diff.max_lag
+        else:
+            assert percentiles == {50: 0, 90: 0, 99: 0}
+
+
+class TestDiffMechanics:
+    def _packet(self, message_id, fragment=0, lag=0, deliver=100, retransmit=0):
+        return PacketTrace(
+            time=0,
+            src=0,
+            dst=1,
+            size_bytes=64,
+            due_time=deliver - lag,
+            deliver_time=deliver,
+            delivery="straggler-now" if lag else "exact-future",
+            lag=lag,
+            straggler=bool(lag),
+            message_id=message_id,
+            fragment=fragment,
+            retransmit=retransmit,
+            packet_kind="data",
+            packet_id=message_id * 10 + fragment,
+            index=0,
+        )
+
+    def test_unmatched_frames_are_counted_not_matched(self):
+        run = [self._packet(1), self._packet(2, lag=50)]
+        truth = [self._packet(1), self._packet(3)]
+        diff = diff_traces(run, truth)
+        assert len(diff.matched) == 1
+        assert diff.only_in_run == 1  # message 2 never happened in truth
+        assert diff.only_in_truth == 1  # message 3 never happened in run
+
+    def test_duplicate_identities_match_by_occurrence(self):
+        # A retransmitted-but-identical identity occurs twice on each side.
+        run = [self._packet(5, deliver=100), self._packet(5, deliver=220)]
+        truth = [self._packet(5, deliver=100), self._packet(5, deliver=200)]
+        diff = diff_traces(run, truth)
+        assert len(diff.matched) == 2
+        assert [lag.occurrence for lag in diff.matched] == [0, 1]
+        assert [lag.skew for lag in diff.matched] == [0, 20]
+
+    def test_shedding_ring_refuses_to_diff(self):
+        runner = ExperimentRunner(seed=SEED, trace=TraceConfig(capacity=8))
+        workload = PingPongWorkload()
+        record = runner.run_spec(
+            workload,
+            2,
+            PolicySpec(
+                "dyn",
+                lambda: AdaptiveQuantumPolicy(MICROSECOND, 1000 * MICROSECOND),
+            ),
+        )
+        assert record.obs.dropped > 0
+        with pytest.raises(ValueError, match="shed"):
+            diff_traces(record.obs, record.obs)
+
+    def test_skew_reflects_knock_on_drift(self, is_pair):
+        adaptive, truth = is_pair
+        diff = diff_traces(adaptive.obs, truth.obs)
+        if diff.straggler_count == 0:
+            pytest.skip("this configuration produced no stragglers")
+        # Any frame with nonzero lag must also show skew at least as
+        # large as nothing (skew may cancel, but the totals correlate).
+        assert any(lag.skew != 0 for lag in diff.matched)
+
+
+class TestEmptyDiff:
+    def test_empty_traces(self):
+        diff = diff_traces([], [])
+        assert diff.matched == []
+        assert diff.only_in_run == 0 and diff.only_in_truth == 0
+        assert diff.phase_attribution() == []
+        assert diff.max_lag == 0
+        text = diff.render()
+        assert "matched 0 frames" in text
+
+    def test_collector_sources_accepted(self):
+        empty = TraceCollector(TraceConfig())
+        diff = diff_traces(empty, empty)
+        assert diff.matched == []
