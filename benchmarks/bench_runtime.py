@@ -1,0 +1,256 @@
+"""Perf-regression harness for the single-run hot path.
+
+Times the canonical single-run cases — the Section-6 64-node runs at the
+ground-truth quantum (1 us) and the Figure-6 8-node adaptive matrix —
+through the vectorized driver, the scalar reference driver, and
+(optionally) an older git checkout, and writes the results in the shared
+``repro-bench/1`` schema (see :mod:`benchlib`).
+
+Every timing runs in a fresh subprocess so scalar/vectorized/baseline
+measurements are symmetric (same interpreter warm-up, no shared caches),
+and the modes are interleaved round by round so machine noise hits all of
+them equally.  Before timing, each case is executed once through both
+drivers **in-process** and the two :class:`RunResult` objects are
+asserted equal — the harness refuses to report a speedup for a case whose
+fast path does not reproduce the reference bit-for-bit.
+
+Usage::
+
+    python benchmarks/bench_runtime.py                       # full suite
+    python benchmarks/bench_runtime.py --baseline-ref <sha>  # + old-tree timing
+    python benchmarks/bench_runtime.py --quick               # CI smoke cases
+    python benchmarks/bench_runtime.py --quick \\
+        --check BENCH_runtime.json --max-regression 0.30     # regression gate
+
+The full suite writes ``BENCH_runtime.json`` at the repo root (the
+committed reference numbers); ``--quick`` writes to ``benchmarks/out/``
+and is meant for the CI perf-smoke job, which compares its events/sec
+against the committed file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import benchlib
+from benchlib import REPO_ROOT, all_cases, bench_meta, full_cases, quick_cases
+
+DEFAULT_ROUNDS = 3
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def _run_one(case: str, mode: str) -> None:
+    """Internal entry point: time one case once and print JSON to stdout."""
+    runs = all_cases()[case]
+    stats = benchlib.time_case(runs, vectorized=(mode == "vec"))
+    print(json.dumps(stats))
+
+
+def _subprocess_time(case: str, mode: str, baseline_src: Path | None) -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_BENCH_SRC", None)
+    if baseline_src is not None:
+        env["REPRO_BENCH_SRC"] = str(baseline_src)
+    proc = subprocess.run(
+        [sys.executable, __file__, "--run-one", case, "--mode", mode],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"timing subprocess failed for {case}/{mode}:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _verify_identical(case: str, runs) -> dict:
+    """Run the case through both drivers in-process; assert equal results."""
+    events = 0
+    quanta = 0
+    for factory in runs:
+        workload, size, policy = factory()
+        scalar_result, _, _ = benchlib.run_once(
+            workload, size, policy, vectorized=False
+        )
+        workload, size, policy = factory()
+        vec_result, perf, _ = benchlib.run_once(
+            workload, size, policy, vectorized=True
+        )
+        assert scalar_result == vec_result, (
+            f"{case}: vectorized RunResult differs from the scalar reference"
+        )
+        if perf is not None:
+            events += perf.events
+            quanta += perf.event_quanta + perf.ff_quanta
+    return {"events": events, "quanta": quanta}
+
+
+class _BaselineTree:
+    """A temporary ``git worktree`` of the baseline ref, if requested."""
+
+    def __init__(self, ref: str | None) -> None:
+        self.ref = ref
+        self.path: Path | None = None
+
+    def __enter__(self) -> Path | None:
+        if self.ref is None:
+            return None
+        self.path = Path(tempfile.mkdtemp(prefix="bench-baseline-"))
+        subprocess.run(
+            ["git", "worktree", "add", "--detach", str(self.path), self.ref],
+            cwd=REPO_ROOT,
+            check=True,
+            capture_output=True,
+        )
+        return self.path / "src"
+
+    def __exit__(self, *exc) -> None:
+        if self.path is not None:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(self.path)],
+                cwd=REPO_ROOT,
+                check=False,
+                capture_output=True,
+            )
+
+
+def _check_regression(
+    cases: dict, reference_path: Path, max_regression: float
+) -> list[str]:
+    reference = json.loads(reference_path.read_text())
+    failures = []
+    for name, entry in cases.items():
+        ref_entry = reference.get("cases", {}).get(name)
+        if ref_entry is None or not ref_entry.get("events_per_sec"):
+            continue
+        floor = ref_entry["events_per_sec"] * (1.0 - max_regression)
+        if entry["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {entry['events_per_sec']:,.0f} events/s is more than "
+                f"{max_regression:.0%} below the reference "
+                f"{ref_entry['events_per_sec']:,.0f} events/s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the small CI smoke cases")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help="timing repetitions per mode (best is reported)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="report path (default: BENCH_runtime.json at the "
+                             "repo root; benchmarks/out/ for --quick)")
+    parser.add_argument("--baseline-ref", default=None,
+                        help="git ref to time the same cases against "
+                             "(via a temporary worktree)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="reference report; fail if events/sec regresses")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="allowed fractional events/sec drop for --check")
+    parser.add_argument("--run-one", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--mode", default="vec", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.run_one is not None:
+        _run_one(args.run_one, args.mode)
+        return 0
+
+    if args.quick:
+        cases = quick_cases()
+        out = args.out or REPO_ROOT / "benchmarks" / "out" / "bench_runtime_quick.json"
+    else:
+        cases = all_cases()
+        out = args.out or REPO_ROOT / "BENCH_runtime.json"
+
+    report_cases: dict[str, dict] = {}
+    with _BaselineTree(args.baseline_ref) as baseline_src:
+        for name, runs in cases.items():
+            print(f"[{name}] verifying vectorized == scalar ...", flush=True)
+            counts = _verify_identical(name, runs)
+
+            best: dict[str, float] = {}
+            modes = ["scalar", "vec"] + (["baseline"] if baseline_src else [])
+            for round_index in range(args.rounds):
+                for mode in modes:
+                    src = baseline_src if mode == "baseline" else None
+                    sub_mode = "scalar" if mode == "baseline" else mode
+                    wall = _subprocess_time(name, sub_mode, src)["wall_s"]
+                    best[mode] = min(best.get(mode, wall), wall)
+                    print(
+                        f"[{name}] round {round_index + 1} {mode:8s}"
+                        f" {wall:7.3f}s",
+                        flush=True,
+                    )
+
+            vec = best["vec"]
+            entry = {
+                "wall_s": round(vec, 3),
+                "scalar_wall_s": round(best["scalar"], 3),
+                "baseline_wall_s": (
+                    round(best["baseline"], 3) if "baseline" in best else None
+                ),
+                "events": counts["events"],
+                "quanta": counts["quanta"],
+                "events_per_sec": round(counts["events"] / vec, 1),
+                "quanta_per_sec": round(counts["quanta"] / vec, 1),
+                "speedup_vs_scalar": round(best["scalar"] / vec, 2),
+                "speedup_vs_baseline": (
+                    round(best["baseline"] / vec, 2) if "baseline" in best else None
+                ),
+                "identical_to_scalar": True,
+            }
+            report_cases[name] = entry
+
+    meta = bench_meta(
+        generated_by="benchmarks/bench_runtime.py",
+        rounds=args.rounds,
+        quick=args.quick,
+        baseline_ref=args.baseline_ref,
+    )
+    benchlib.write_report(out, meta, report_cases)
+
+    width = max(len(name) for name in report_cases)
+    print(f"\n{'case':<{width}}  {'vec':>8} {'scalar':>8} {'base':>8} "
+          f"{'vs scalar':>9} {'vs base':>8} {'events/s':>12}")
+    for name, entry in report_cases.items():
+        base = entry["baseline_wall_s"]
+        vs_base = entry["speedup_vs_baseline"]
+        print(
+            f"{name:<{width}}  {entry['wall_s']:>7.3f}s {entry['scalar_wall_s']:>7.3f}s "
+            f"{(f'{base:>7.3f}s' if base is not None else '       -')} "
+            f"{entry['speedup_vs_scalar']:>8.2f}x "
+            f"{(f'{vs_base:>7.2f}x' if vs_base is not None else '       -')} "
+            f"{entry['events_per_sec']:>12,.0f}"
+        )
+    print(f"\n[saved to {out}]")
+
+    if args.check is not None:
+        failures = _check_regression(
+            report_cases, args.check, args.max_regression
+        )
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf check OK (within {args.max_regression:.0%} of "
+              f"{args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

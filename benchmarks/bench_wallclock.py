@@ -9,8 +9,9 @@ at 2/4/8 nodes under every paper policy — three ways:
 
 Each timing is the best of ``ROUNDS`` repetitions (the container this runs
 in may be small and noisy; best-of-N is the stable statistic).  The numbers
-land machine-readably in ``benchmarks/out/wallclock.json`` together with
-the core count, so results from different machines stay comparable.
+land machine-readably in ``benchmarks/out/wallclock.json`` in the shared
+``repro-bench/1`` schema (see :mod:`benchlib`), so results from this
+harness and from ``bench_runtime.py`` read the same way.
 
 Speedup assertions are honest about hardware: parallel fan-out can only be
 expected to win when there are cores to fan out over, so the >= 2x check is
@@ -20,12 +21,11 @@ suite) holds everywhere.
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import shutil
 import time
 
+import benchlib
 from repro.harness.configs import paper_policies
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.parallel import CACHE_VERSION, ParallelRunner
@@ -93,29 +93,25 @@ def test_wallclock_farm(artifact_dir, tmp_path):
     assert warm_rows == serial_rows
 
     cores = os.cpu_count() or 1
-    report = {
-        "meta": {
-            "seed": BENCH_SEED,
-            "sizes": list(SIZES),
-            "workloads": [w.name for w in _suite_workloads()],
-            "rounds": ROUNDS,
-            "cpu_count": cores,
-            "python": platform.python_version(),
-            "cache_version": CACHE_VERSION,
-        },
-        "suites": {
-            "ep_is_namd_matrix": {
-                "serial_s": round(serial_s, 3),
-                "parallel_cold_s": round(cold_s, 3),
-                "parallel_warm_s": round(warm_s, 3),
-                "parallel_speedup": round(serial_s / cold_s, 2),
-                "warm_speedup": round(serial_s / warm_s, 2),
-            }
-        },
+    meta = benchlib.bench_meta(
+        generated_by="benchmarks/bench_wallclock.py",
+        rounds=ROUNDS,
+        sizes=list(SIZES),
+        workloads=[w.name for w in _suite_workloads()],
+        cache_version=CACHE_VERSION,
+    )
+    cases = {
+        "ep_is_namd_matrix": {
+            "wall_s": round(cold_s, 3),
+            "serial_wall_s": round(serial_s, 3),
+            "warm_wall_s": round(warm_s, 3),
+            "speedup": round(serial_s / cold_s, 2),
+            "warm_speedup": round(serial_s / warm_s, 2),
+        }
     }
     path = artifact_dir / "wallclock.json"
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")
+    benchlib.write_report(path, meta, cases)
+    print(f"\n{path.read_text()}\n[saved to {path}]")
 
     # A warm cache answers the whole suite from disk in under a second.
     assert warm_s < 1.0

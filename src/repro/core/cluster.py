@@ -36,6 +36,7 @@ provably contain no packets and no application events.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -78,6 +79,13 @@ class ClusterConfig:
             before the accelerator engages (below this the event path is
             just as fast).
         chunk: maximum quanta processed per vectorised fast-forward batch.
+        vectorized: use the vectorized stepper — per-quantum slowdowns are
+            drawn and combined across all nodes at once (numpy), clocks of
+            event-free nodes are advanced arithmetically instead of being
+            reset one by one (the subset fast-forward), and window events
+            are drained with run-length heap elision.  Bit-identical to
+            the scalar reference path (``vectorized=False``), which is
+            kept for differential testing and benchmarking.
         sampling: if set, node simulators follow this detailed/functional
             sampling schedule (the paper's future-work combination).
         check: run the causality sanitizer (None defers to ``REPRO_CHECK``
@@ -100,6 +108,7 @@ class ClusterConfig:
     fast_forward: bool = True
     fast_forward_min_quanta: int = 4
     chunk: int = 1 << 16
+    vectorized: bool = True
     sampling: Optional[SamplingSchedule] = None
     check: Optional[bool] = None
     faults: Optional[FaultPlan] = None
@@ -167,6 +176,102 @@ class RunResult:
             )
             text += f" recovery[retransmits={retransmits} dup-dropped={duplicates}]"
         return text
+
+
+@dataclass
+class PerfCounters:
+    """Hot-path instrumentation of one run (driver-level, not part of
+    :class:`RunResult` — the counters describe *how* the driver stepped,
+    which differs between the scalar and vectorized paths, while the
+    results themselves are bit-identical).
+    """
+
+    #: Quanta processed event-by-event (windows).
+    event_quanta: int = 0
+    #: Quanta skipped arithmetically by the whole-cluster span accelerator.
+    ff_quanta: int = 0
+    #: Fast-forward batches (each covers >= 1 quanta).
+    ff_spans: int = 0
+    #: Local node events handled inside windows.
+    events: int = 0
+    #: Node-quanta that were event-stepped (clock materialized).
+    stepped_node_quanta: int = 0
+    #: Node-quanta advanced arithmetically by the subset fast-forward
+    #: (node had no event in the window; its clock was never materialized).
+    skipped_node_quanta: int = 0
+    #: Windows in which at least one node was skipped arithmetically.
+    subset_windows: int = 0
+
+
+class _JitterFeed:
+    """Row-major prefetch of per-quantum jitter draws across all nodes.
+
+    The vectorized stepper consumes one jitter draw per node per quantum —
+    exactly like the scalar path — but wants them as a ``(N,)`` row (event
+    windows) or ``(count, N)`` matrix (fast-forward spans).  The feed pulls
+    blocks from each node's private stream via
+    :meth:`~repro.node.hostmodel.HostExecutionModel.take_jitter`, so draw
+    *i* of node *n* is the same number the scalar path would have drawn for
+    node *n*'s *i*-th quantum: batching changes only the access pattern,
+    never the values.
+    """
+
+    _BLOCK = 256
+
+    __slots__ = ("_models", "_matrix", "_cursor", "_ones_row")
+
+    def __init__(self, models: list[HostExecutionModel]) -> None:
+        self._models = models
+        self._matrix = np.empty((0, len(models)))
+        self._cursor = 0
+        # With zero jitter sigma the scalar path consumes no draws; the
+        # feed must not either.
+        self._ones_row = (
+            np.ones(len(models))
+            if models[0].params.jitter_sigma == 0
+            else None
+        )
+
+    def row(self) -> np.ndarray:
+        """The next per-node draw for one quantum, shape ``(N,)``."""
+        ones = self._ones_row
+        if ones is not None:
+            return ones
+        if self._cursor >= len(self._matrix):
+            self._matrix = self._fetch(self._BLOCK)
+            self._cursor = 0
+        row = self._matrix[self._cursor]
+        self._cursor += 1
+        return row
+
+    def rows(self, count: int) -> np.ndarray:
+        """The next *count* per-node draws, shape ``(count, N)``."""
+        models = self._models
+        if self._ones_row is not None:
+            return np.ones((count, len(models)))
+        have = len(self._matrix) - self._cursor
+        take = min(have, count)
+        rest = count - take
+        if rest == 0:
+            head = self._matrix[self._cursor : self._cursor + take]
+            self._cursor += take
+            return head
+        # Fill one output block: prefetched head rows first, then each
+        # node's remaining draws straight from its stream (no temporary
+        # tail matrix, no concatenate copy).
+        out = np.empty((count, len(models)))
+        if take:
+            out[:take] = self._matrix[self._cursor : self._cursor + take]
+            self._cursor += take
+        for index, model in enumerate(models):
+            out[take:, index] = model.take_jitter(rest)
+        return out
+
+    def _fetch(self, rows: int) -> np.ndarray:
+        matrix = np.empty((rows, len(self._models)))
+        for index, model in enumerate(self._models):
+            matrix[:, index] = model.take_jitter(rows)
+        return matrix
 
 
 class _NodeClock:
@@ -284,6 +389,44 @@ class ClusterSimulator:
         self._host_window_start: float = 0.0
         self._in_window = False
         self._dirty: list[int] = []
+        #: Hot-path instrumentation; purely observational (never part of
+        #: :class:`RunResult`, so scalar and vectorized results compare
+        #: equal field-for-field).
+        self.perf = PerfCounters()
+        self._vectorized = self.config.vectorized
+        self._sampling = self.config.sampling is not None
+        # Vectorized-stepper state.  Per-quantum slowdowns live in numpy
+        # arrays (plus plain-float lists for scalar access); a node's
+        # _NodeClock is materialized from them lazily, the first time the
+        # window actually needs it — event-free nodes never pay for one.
+        self._feed = _JitterFeed(self.host_models)
+        #: Cached bound methods: the run loop peeks every node's queue
+        #: between quanta, and the attribute chain is measurable there.
+        self._peeks = [node.queue.peek_time for node in nodes]
+        #: The conservative bound T of the network (``Q <= T`` guarantees
+        #: every in-window emission is due at or beyond the barrier) —
+        #: eligibility test for the ground-truth window drain.
+        self._min_latency = controller.latency_model.min_latency()
+        #: Non-None while a drain window is collecting emissions; see
+        #: :meth:`_run_window_drain`.
+        self._drain_pending: Optional[list[tuple[float, int, int, Packet]]] = None
+        self._node_factors = np.array(
+            [model.node_factor for model in self.host_models]
+        )
+        self._busy_bases = np.full(
+            len(nodes), self.config.host_params.busy_slowdown
+        )
+        self._idle_bases = np.full(
+            len(nodes), self.config.host_params.idle_slowdown
+        )
+        self._busy_mask = np.array([node.activity == BUSY for node in nodes])
+        self._epoch = 0
+        self._epochs = [0] * len(nodes)
+        self._touched: list[int] = []
+        self._q_busy_rates: list[float] = []
+        self._q_idle_rates: list[float] = []
+        self._q_busy_rates_arr = np.empty(0)
+        self._q_idle_rates_arr = np.empty(0)
 
     def _validate_faults(self, plan: FaultPlan) -> FaultPlan:
         """Reject fault plans this cluster cannot execute to completion."""
@@ -319,6 +462,10 @@ class ClusterSimulator:
         return self._window
 
     def node_position_at(self, node: int, host_time: float) -> SimTime:
+        if self._vectorized:
+            # The delivery policy asks for destination positions mid-window;
+            # give the destination a real clock if it was event-free so far.
+            self._materialize(node)
         return self._clocks[node].position_at(host_time, self._window)
 
     # ------------------------------------------------------------------ #
@@ -326,6 +473,21 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ #
 
     def _on_emit(self, node: SimulatedNode, packet: Packet) -> None:
+        pending = self._drain_pending
+        if pending is not None:
+            # Drain window: defer submission; the drain sorts the batch
+            # into global host-time order before routing (every frame is
+            # provably held, so nothing downstream needs it mid-window).
+            node_id = node.node_id
+            pending.append(
+                (
+                    self._clocks[node_id].host_of(packet.send_time),
+                    node_id,
+                    len(pending),
+                    packet,
+                )
+            )
+            return
         sender_host_time = self._clocks[node.node_id].host_of(packet.send_time)
         for decision in self.controller.submit(packet, sender_host_time):
             dst = decision.packet.dst
@@ -336,8 +498,18 @@ class ClusterSimulator:
     def _on_activity_change(
         self, node: SimulatedNode, sim_time: SimTime, activity: str
     ) -> None:
+        node_id = node.node_id
+        if self._vectorized:
+            # Maintained continuously so the vectorized window setup and
+            # fast-forward read every node's activity without an O(N) scan.
+            self._busy_mask[node_id] = activity == BUSY
         if self._in_window:
-            self._clocks[node.node_id].transition(sim_time, activity)
+            # A node can only flip activity while handling one of its own
+            # events, and handling is always preceded by materialization
+            # (drain/heap entry or a delivery-position query), so the clock
+            # is guaranteed fresh here (invariant covered by the property
+            # tests comparing against the always-reset scalar path).
+            self._clocks[node_id].transition(sim_time, activity)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -353,6 +525,8 @@ class ClusterSimulator:
         collector = self.collector
         num_nodes = len(nodes)
         barrier_cost = config.barrier.overhead(num_nodes)
+        vectorized = self._vectorized
+        perf = self.perf
 
         now: SimTime = 0
         host: float = 0.0
@@ -365,18 +539,45 @@ class ClusterSimulator:
             else None
         )
 
+        # The drain path reorders only *unobserved* work (packet creation
+        # order, hence packet ids, differs from the interleaved paths), so
+        # traced runs keep the interleaved stepper, and faulted runs keep
+        # it too so the injector consumes its verdict stream at the same
+        # call sites.  Results are bit-identical either way.
+        drain_ok = vectorized and collector is None and injector is None
+        min_latency = self._min_latency
+        if vectorized:
+            peeks = self._peeks
+            # Maintained incrementally: a node's queue only changes when it
+            # is stepped in a window (always in self._touched) or when a
+            # held frame is released to it (updated at the release site) —
+            # fast-forward spans touch no queues at all.
+            times: Optional[list[Optional[SimTime]]] = [peek() for peek in peeks]
+        else:
+            times = None
+
         while not self._done():
             if now >= config.sim_time_limit:
                 return self._result(now, host, False, breakdown, quantum_stats, timeline)
 
-            horizon = self._next_interesting_time()
+            if vectorized:
+                assert times is not None
+                horizon = controller.next_held_time()
+                for t in times:
+                    if t is not None and (horizon is None or t < horizon):
+                        horizon = t
+            else:
+                horizon = self._next_interesting_time()
             if horizon is None:
                 raise DeadlockError(self._deadlock_report(now))
 
             if config.fast_forward:
                 window = policy.window(q_state)
                 if horizon - now >= config.fast_forward_min_quanta * window:
-                    now, host, q_state = self._fast_forward(
+                    forward = (
+                        self._fast_forward_vec if vectorized else self._fast_forward
+                    )
+                    now, host, q_state = forward(
                         now, host, q_state, min(horizon, config.sim_time_limit),
                         barrier_cost, quantum_stats, breakdown, timeline,
                     )
@@ -390,14 +591,17 @@ class ClusterSimulator:
             if collector is not None:
                 collector.quantum_begin(start, end)
             self._host_window_start = host
-            for node, clock, model in zip(nodes, self._clocks, self.host_models):
-                busy_slowdown, idle_slowdown = model.slowdown_pair(start)
-                if injector is not None:
-                    stall = injector.stall_factor(node.node_id, start, end)
-                    if stall != 1.0:
-                        busy_slowdown *= stall
-                        idle_slowdown *= stall
-                clock.reset(start, host, busy_slowdown, idle_slowdown, node.activity)
+            if vectorized:
+                self._prepare_window_vec(start, end, host)
+            else:
+                for node, clock, model in zip(nodes, self._clocks, self.host_models):
+                    busy_slowdown, idle_slowdown = model.slowdown_pair(start)
+                    if injector is not None:
+                        stall = injector.stall_factor(node.node_id, start, end)
+                        if stall != 1.0:
+                            busy_slowdown *= stall
+                            idle_slowdown *= stall
+                    clock.reset(start, host, busy_slowdown, idle_slowdown, node.activity)
             if injector is not None:
                 injector.on_quantum(start, end)
 
@@ -407,18 +611,46 @@ class ClusterSimulator:
             held = controller.next_held_time()
             if held is not None and held < end:
                 for decision in controller.release_due(start, end):
-                    nodes[decision.packet.dst].deliver(
-                        decision.packet, decision.deliver_time
-                    )
+                    dst = decision.packet.dst
+                    nodes[dst].deliver(decision.packet, decision.deliver_time)
+                    if times is not None:
+                        times[dst] = nodes[dst].peek_time()
 
             self._in_window = True
-            self._run_window(end)
+            drained = False
+            if vectorized:
+                assert times is not None
+                if drain_ok and window <= min_latency:
+                    self._run_window_drain(end, times)
+                    drained = True
+                else:
+                    self._run_window_vec(end, times)
+            else:
+                self._run_window(end)
             self._in_window = False
+
+            perf.event_quanta += 1
+            if vectorized:
+                stepped = len(self._touched)
+                perf.stepped_node_quanta += stepped
+                if stepped < num_nodes:
+                    # Subset fast-forward: the event-free nodes of this
+                    # window were advanced arithmetically.
+                    perf.skipped_node_quanta += num_nodes - stepped
+                    perf.subset_windows += 1
+            else:
+                perf.stepped_node_quanta += num_nodes
 
             np_count = controller.end_quantum()
             if sanitizer is not None:
+                if vectorized:
+                    # The sanitizer audits every clock's segment anchor;
+                    # give event-free nodes their (value-identical) clocks.
+                    self._materialize_all()
                 sanitizer.on_quantum_end(start, end, np_count)
             if self._done():
+                if vectorized:
+                    self._materialize_all()
                 # The run completed inside this quantum: the simulation stops
                 # the moment the last application event is processed, so the
                 # final (partial) quantum costs host time only up to that
@@ -449,7 +681,10 @@ class ClusterSimulator:
                     )
                 now = max(last, start + 1)
                 break
-            node_cost = max(clock.finish_host(end) for clock in self._clocks) - host
+            if vectorized:
+                node_cost = self._window_cost_vec(start, end, host)
+            else:
+                node_cost = max(clock.finish_host(end) for clock in self._clocks) - host
             host += node_cost + barrier_cost
             breakdown.add(node_cost, barrier_cost)
             quantum_stats.record(window)
@@ -458,6 +693,8 @@ class ClusterSimulator:
             next_state = policy.next(q_state, np_count)
             if collector is not None:
                 if collector.config.barriers:
+                    if vectorized:
+                        self._materialize_all()
                     finishes = [clock.finish_host(end) for clock in self._clocks]
                     slowest = max(finishes)
                     for node_id, finish in enumerate(finishes):
@@ -474,6 +711,14 @@ class ClusterSimulator:
                     node_cost, barrier_cost,
                 )
             q_state = next_state
+            if vectorized and not drained:
+                # Drain windows refresh ``times`` in place; interleaved
+                # windows re-peek every stepped node here.  Materialized-
+                # but-unstepped nodes (sanitizer audits) have untouched
+                # queues, so their stale peeks are still exact.
+                assert times is not None
+                for node_id in self._touched:
+                    times[node_id] = peeks[node_id]()
             now = end
 
         return self._result(now, host, True, breakdown, quantum_stats, timeline)
@@ -512,6 +757,7 @@ class ClusterSimulator:
         for node_id in range(len(nodes)):
             push(node_id)
         dirty = self._dirty
+        handled = 0
         while heap:
             _, node_id, entry_seq = heappop(heap)
             if entry_seq != sequences[node_id]:
@@ -519,6 +765,7 @@ class ClusterSimulator:
             dirty.clear()
             node = nodes[node_id]
             node.pop_and_handle()
+            handled += 1
             if not heap:
                 # Single-active-node fast path (see docstring).
                 peek = node.peek_time
@@ -528,11 +775,260 @@ class ClusterSimulator:
                     if event_time is None or event_time >= end:
                         break
                     handle()
+                    handled += 1
             push(node_id)
             for touched in dirty:
                 if touched != node_id:
                     push(touched)
         dirty.clear()
+        self.perf.events += handled
+
+    # ------------------------------------------------------------------ #
+    # Vectorized stepper
+    # ------------------------------------------------------------------ #
+
+    def _prepare_window_vec(self, start: SimTime, end: SimTime, host: float) -> None:
+        """Draw and combine every node's per-quantum slowdowns at once.
+
+        Computes exactly what N ``slowdown_pair`` calls (plus the stall
+        scaling) would, but elementwise over arrays: same jitter stream
+        positions, same operation order per element, bit-identical values.
+        Clocks are *not* reset here — :meth:`_materialize` builds a node's
+        clock lazily the first time the window needs it, so event-free
+        nodes advance arithmetically (the subset fast-forward).
+        """
+        jitter = self._feed.row()
+        tmp = jitter * self._node_factors
+        if self._sampling:
+            bases = np.empty(len(self.host_models))
+            for index, model in enumerate(self.host_models):
+                bases[index] = model.busy_base_at(start)
+            busy = bases * tmp
+        else:
+            busy = self._busy_bases * tmp
+        idle = self._idle_bases * tmp
+        injector = self.injector
+        if injector is not None and injector.plan.stalls:
+            for node_id in range(len(self.nodes)):
+                stall = injector.stall_factor(node_id, start, end)
+                if stall != 1.0:
+                    busy[node_id] *= stall
+                    idle[node_id] *= stall
+        # Convert slowdowns to clock rates once, elementwise (the scalar
+        # path divides per node inside ``reset``; same operands, same IEEE
+        # division, identical doubles).  Plain-float copies for scalar
+        # access (materialization): one bulk conversion beats N
+        # numpy-scalar reads when most nodes are active.
+        busy_rates = 1e9 / busy
+        idle_rates = 1e9 / idle
+        self._q_busy_rates_arr = busy_rates
+        self._q_idle_rates_arr = idle_rates
+        self._q_busy_rates = busy_rates.tolist()
+        self._q_idle_rates = idle_rates.tolist()
+        self._epoch += 1
+        self._touched.clear()
+
+    def _materialize(self, node_id: int) -> None:
+        """Give *node_id* a real per-window clock (idempotent per window).
+
+        The reset is value-identical to the scalar path's unconditional
+        reset at window start: untouched nodes cannot have flipped activity
+        (flips only happen while handling events, which materializes
+        first), so ``node.activity`` still holds the window-start value.
+        """
+        if self._epochs[node_id] == self._epoch:
+            return
+        self._epochs[node_id] = self._epoch
+        self._touched.append(node_id)
+        # Inlined ``clock.reset`` with the division already done in bulk by
+        # ``_prepare_window_vec`` — value-identical to the scalar reset.
+        clock = self._clocks[node_id]
+        clock.busy_rate = busy_rate = self._q_busy_rates[node_id]
+        clock.idle_rate = idle_rate = self._q_idle_rates[node_id]
+        clock.seg_sim = self._window[0]
+        clock.seg_host = self._host_window_start
+        clock.seg_rate = (
+            busy_rate if self.nodes[node_id].activity == BUSY else idle_rate
+        )
+
+    def _materialize_all(self) -> None:
+        for node_id in range(len(self.nodes)):
+            self._materialize(node_id)
+
+    def _window_cost_vec(self, start: SimTime, end: SimTime, host: float) -> float:
+        """Max host finish time over all nodes, minus the window's start.
+
+        Event-free (untouched) nodes finished the window on a single
+        segment; their finish is computed arithmetically over the slowdown
+        arrays with the same per-element operations the scalar path's
+        ``reset`` + ``finish_host`` would perform (``rate = 1e9 / slowdown``
+        then ``host + span / rate`` — never algebraically rearranged, so
+        the floats match bit-for-bit).  Touched nodes use their clocks.
+        """
+        clocks = self._clocks
+        touched = self._touched
+        if len(touched) == len(clocks):
+            # All nodes stepped: ``host_of(end)`` for each, unrolled into
+            # segment-attribute arithmetic (identical expression, no
+            # per-node call or generator frame).
+            best = -math.inf
+            for clock in clocks:
+                finish = clock.seg_host + (end - clock.seg_sim) / clock.seg_rate
+                if finish > best:
+                    best = finish
+            return best - host
+        span = end - start
+        rates = np.where(
+            self._busy_mask, self._q_busy_rates_arr, self._q_idle_rates_arr
+        )
+        finishes = host + span / rates
+        if touched:
+            finishes[touched] = -np.inf
+            best = float(finishes.max())
+            for node_id in touched:
+                finish = clocks[node_id].host_of(end)
+                if finish > best:
+                    best = finish
+        else:
+            best = float(finishes.max())
+        return best - host
+
+    def _run_window_vec(
+        self, end: SimTime, times: list[Optional[SimTime]]
+    ) -> None:
+        """Interleave node events in host-time order until the barrier.
+
+        Same lazy-invalidation heap as :meth:`_run_window` (same
+        ``(host_key, node_id, seq)`` total order, hence the same event
+        order), with two additions: nodes are materialized on first touch
+        (event-free nodes never enter the heap at all), and after handling
+        an event the node keeps draining *directly* while its next key
+        still beats the heap top — the heap top's key is a lower bound on
+        every live entry, so winning the comparison proves the node would
+        be popped next anyway.  This generalizes the scalar path's
+        single-active-node fast path to any number of live nodes.
+        """
+        nodes = self.nodes
+        clocks = self._clocks
+        materialize = self._materialize
+        sequences = [0] * len(nodes)
+        heap: list[tuple[float, int, int]] = []
+        for node_id, event_time in enumerate(times):
+            if event_time is not None and event_time < end:
+                materialize(node_id)
+                heap.append((clocks[node_id].host_of(event_time), node_id, 0))
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        dirty = self._dirty
+        handled = 0
+        while heap:
+            _, node_id, entry_seq = heappop(heap)
+            if entry_seq != sequences[node_id]:
+                continue
+            node = nodes[node_id]
+            clock = clocks[node_id]
+            peek = node.queue.peek_time
+            handle = node.pop_and_handle
+            while True:
+                dirty.clear()
+                handle()
+                handled += 1
+                for touched in dirty:
+                    if touched == node_id:
+                        continue
+                    sequences[touched] += 1
+                    t = nodes[touched].peek_time()
+                    if t is not None and t < end:
+                        materialize(touched)
+                        heappush(
+                            heap,
+                            (
+                                clocks[touched].host_of(t),
+                                touched,
+                                sequences[touched],
+                            ),
+                        )
+                event_time = peek()
+                if event_time is None or event_time >= end:
+                    break
+                if not heap:
+                    continue
+                key = clock.host_of(event_time)
+                top = heap[0]
+                if key < top[0] or (key == top[0] and node_id < top[1]):
+                    continue
+                sequences[node_id] += 1
+                heappush(heap, (key, node_id, sequences[node_id]))
+                break
+        dirty.clear()
+        self.perf.events += handled
+
+    def _run_window_drain(
+        self, end: SimTime, times: list[Optional[SimTime]]
+    ) -> None:
+        """Step a ground-truth window by draining each active node in turn.
+
+        Eligible when the quantum is no longer than the network's minimum
+        latency (``Q <= T``, the paper's conservative bound): every frame
+        emitted inside the window is then due at or beyond the barrier, so
+        the controller holds it and nodes cannot interact mid-window.  With
+        no cross-node coupling, host-time interleaving cannot change *what*
+        happens — only the order frames reach the controller, which decides
+        the hold heap's tie-breaking sequence numbers.  So each active node
+        drains its window events sequentially (no interleave heap, no
+        per-event host keys), emissions are collected with their sender
+        host times (see :meth:`_on_emit`), and the batch is sorted into
+        ``(host time, node id, per-node order)`` — exactly the order the
+        interleaved heap pops emit events — before submission.  Results are
+        bit-identical to the interleaved paths.
+        """
+        nodes = self.nodes
+        clocks = self._clocks
+        epochs = self._epochs
+        epoch = self._epoch
+        touched_append = self._touched.append
+        busy_rates = self._q_busy_rates
+        idle_rates = self._q_idle_rates
+        window_start = self._window[0]
+        host_start = self._host_window_start
+        pending: list[tuple[float, int, int, Packet]] = []
+        self._drain_pending = pending
+        handled = 0
+        for node_id, event_time in enumerate(times):
+            if event_time is None or event_time >= end:
+                continue
+            node = nodes[node_id]
+            if epochs[node_id] != epoch:
+                # Inlined :meth:`_materialize` with this window's constants
+                # hoisted out of the loop (value-identical clock reset).
+                epochs[node_id] = epoch
+                touched_append(node_id)
+                clock = clocks[node_id]
+                clock.busy_rate = busy_rate = busy_rates[node_id]
+                clock.idle_rate = idle_rate = idle_rates[node_id]
+                clock.seg_sim = window_start
+                clock.seg_host = host_start
+                clock.seg_rate = (
+                    busy_rate if node.activity == BUSY else idle_rate
+                )
+            count, next_time = node.drain_window(end)
+            handled += count
+            # In a drain window a node's queue only changes while it is
+            # being drained (nothing is delivered mid-window), so the
+            # drain's final head time is exactly the fresh peek the
+            # driver's post-window refresh would compute.
+            times[node_id] = next_time
+        self._drain_pending = None
+        if pending:
+            if len(pending) > 1:
+                # Tuple order is (host time, node id, order): the unique
+                # order field makes the sort total without ever comparing
+                # packets, and equals per-node emission order, which a
+                # stable sort must preserve for same-key entries anyway.
+                pending.sort()
+            self.controller.submit_held_batch(pending)
+        self.perf.events += handled
 
     # ------------------------------------------------------------------ #
     # Fast-forward accelerator
@@ -612,6 +1108,99 @@ class ClusterSimulator:
                 collector.fast_forward(now, span, count, node_cost, barrier_total)
             if timeline is not None:
                 timeline.add_span(now, now + span, node_cost + barrier_total)
+            self.perf.ff_spans += 1
+            self.perf.ff_quanta += count
+            now += span
+            q_state = next_state
+
+    def _fast_forward_vec(
+        self,
+        now: SimTime,
+        host: float,
+        q_state: float,
+        horizon: SimTime,
+        barrier_cost: float,
+        quantum_stats: QuantumStats,
+        breakdown: HostCostBreakdown,
+        timeline: Optional[BucketTimeline],
+    ) -> tuple[SimTime, float, float]:
+        """:meth:`_fast_forward`, drawing jitter through the shared feed.
+
+        The homogeneous case (no sampling schedule, no host stalls) folds
+        the per-node loop into one ``(count, N)`` elementwise product and a
+        row max; sampled or stalled runs keep the per-node loop but consume
+        the same feed columns.  Either way the per-element float operations
+        match the scalar path exactly.
+        """
+        sanitizer = self.sanitizer
+        injector = self.injector
+        collector = self.collector
+        perf = self.perf
+        stalled = injector is not None and bool(injector.plan.stalls)
+        plain = not (self._sampling or stalled)
+        activities = None if plain else [node.activity for node in self.nodes]
+        while True:
+            lengths, next_state = self.policy.idle_chunk(
+                q_state, horizon - now, self.config.chunk
+            )
+            count = len(lengths)
+            if count == 0:
+                return now, host, q_state
+            starts = now + np.concatenate(([0], np.cumsum(lengths[:-1])))
+            jitter = self._feed.rows(count)
+            if plain:
+                # slowdown = (base * node_factor) * jitter, elementwise —
+                # the same (commutative-exact) products the per-node
+                # slowdowns() calls would compute.
+                coeff = (
+                    np.where(self._busy_mask, self._busy_bases, self._idle_bases)
+                    * self._node_factors
+                )
+                max_slow = (jitter * coeff).max(axis=1)
+            else:
+                assert activities is not None
+                ends = starts + lengths if stalled else None
+                models = self.host_models
+                max_slow = models[0].slowdowns_from(
+                    jitter[:, 0], activities[0], starts
+                )
+                if stalled:
+                    assert injector is not None and ends is not None
+                    factors = injector.stall_factors(0, starts, ends)
+                    if factors is not None:
+                        max_slow *= factors
+                for node_id, (model, activity) in enumerate(
+                    zip(models[1:], activities[1:]), start=1
+                ):
+                    slow = model.slowdowns_from(
+                        jitter[:, node_id], activity, starts
+                    )
+                    if stalled:
+                        assert injector is not None and ends is not None
+                        factors = injector.stall_factors(node_id, starts, ends)
+                        if factors is not None:
+                            slow = slow * factors
+                    np.maximum(max_slow, slow, out=max_slow)
+                if stalled:
+                    assert injector is not None and ends is not None
+                    injector.on_quanta(starts, ends)
+            node_cost = float((lengths * max_slow).sum()) / 1e9
+            span = int(lengths.sum())
+            barrier_total = barrier_cost * count
+            host += node_cost + barrier_total
+            breakdown.add(node_cost, barrier_total)
+            quantum_stats.record_lengths(lengths)
+            self.controller.note_idle_quanta(count)
+            if sanitizer is not None:
+                sanitizer.on_fast_forward(
+                    now, span, count, horizon, self.controller.next_held_time()
+                )
+            if collector is not None:
+                collector.fast_forward(now, span, count, node_cost, barrier_total)
+            if timeline is not None:
+                timeline.add_span(now, now + span, node_cost + barrier_total)
+            perf.ff_spans += 1
+            perf.ff_quanta += count
             now += span
             q_state = next_state
 

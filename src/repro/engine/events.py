@@ -14,7 +14,8 @@ seed replay identically.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+from sys import intern as _intern
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.engine.units import SimTime
 
@@ -45,7 +46,10 @@ class Event:
             raise ValueError(f"event time must be non-negative, got {time}")
         self.time = time
         self.action = action
-        self.tag = tag
+        # Tags come from a handful of literals ("emit", "delivery", ...);
+        # interning makes the dispatch comparisons in hot handlers pointer
+        # comparisons instead of character scans.
+        self.tag = _intern(tag)
         self.payload = payload
         self._seq = -1
         self._alive = True
@@ -77,12 +81,19 @@ class EventQueue:
     skipped transparently.  ``len()`` reports live events only.
     """
 
-    __slots__ = ("_heap", "_next_seq", "_live")
+    #: Compaction thresholds: when more than half the heap is dead entries
+    #: (and the absolute count is non-trivial), rebuild the heap in one
+    #: O(n) pass.  Without this, cancellation-heavy workloads accumulate
+    #: dead entries that every subsequent push/pop must sift around.
+    _COMPACT_MIN_DEAD = 16
+
+    __slots__ = ("_heap", "_next_seq", "_live", "_dead")
 
     def __init__(self) -> None:
         self._heap: list[tuple[SimTime, int, Event]] = []
         self._next_seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -109,18 +120,103 @@ class EventQueue:
         tag: str = "",
         payload: Any = None,
     ) -> Event:
-        """Create and push an event in one step."""
-        return self.push(Event(time, action, tag, payload))
+        """Create and push an event in one step.
+
+        Equivalent to ``push(Event(...))`` but skips the re-schedule
+        guards, which a freshly constructed event trivially satisfies —
+        this is the hottest allocation site of a run.  The constructor is
+        bypassed too: its tag interning is redundant here (every caller
+        passes a literal, which CPython interns at compile time).
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event.__new__(Event)
+        event.time = time
+        event.action = action
+        event.tag = tag
+        event.payload = payload
+        event._alive = True
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event._seq = seq
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        return event
+
+    def push_many(self, events: Iterable[Event]) -> None:
+        """Schedule a batch of events with at most one heap restore.
+
+        Pop order is identical to pushing the events one by one (the heap
+        orders entries by their ``(time, seq)`` tuples regardless of how
+        they entered).  Small batches relative to the heap are pushed
+        individually; large ones are appended and re-heapified in one
+        O(n) pass, avoiding per-event sift churn for frame bursts.
+        """
+        batch = events if isinstance(events, list) else list(events)
+        if len(batch) * 8 < len(self._heap):
+            for event in batch:
+                self.push(event)
+            return
+        heap = self._heap
+        seq = self._next_seq
+        for event in batch:
+            if not event._alive:
+                raise ValueError("cannot schedule a cancelled event")
+            if event._seq >= 0:
+                raise ValueError("event is already scheduled")
+            event._seq = seq
+            heap.append((event.time, seq, event))
+            seq += 1
+        self._next_seq = seq
+        self._live += len(batch)
+        heapq.heapify(heap)
+
+    def schedule_many(
+        self, items: Iterable[tuple[SimTime, Any]], tag: str = ""
+    ) -> None:
+        """Create and push one *tag* event per ``(time, payload)`` item."""
+        new = Event.__new__
+        batch = []
+        for time, payload in items:
+            if time < 0:
+                raise ValueError(f"event time must be non-negative, got {time}")
+            event = new(Event)
+            event.time = time
+            event.action = None
+            event.tag = tag
+            event.payload = payload
+            event._alive = True
+            event._seq = -1
+            batch.append(event)
+        self.push_many(batch)
 
     def cancel(self, event: Event) -> None:
         """Cancel *event* if it is still live (idempotent)."""
         if event._alive:
             event.cancel()
             self._live -= 1
+            self._dead += 1
+            if (
+                self._dead >= self._COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop every dead entry and restore the heap in one pass."""
+        self._heap = [entry for entry in self._heap if entry[2]._alive]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries still occupying heap slots (visibility for tests)."""
+        return self._dead
 
     def _drop_dead(self) -> None:
         while self._heap and not self._heap[0][2]._alive:
             heapq.heappop(self._heap)
+            self._dead -= 1
 
     def peek(self) -> Optional[Event]:
         """Return the next live event without removing it, or ``None``."""
@@ -128,9 +224,20 @@ class EventQueue:
         return self._heap[0][2] if self._heap else None
 
     def peek_time(self) -> Optional[SimTime]:
-        """Return the time of the next live event, or ``None`` if empty."""
-        event = self.peek()
-        return event.time if event is not None else None
+        """Return the time of the next live event, or ``None`` if empty.
+
+        Inlines the live-head fast path: the driver peeks every node
+        between events, and the head is almost always alive.
+        """
+        heap = self._heap
+        if heap:
+            entry = heap[0]
+            if entry[2]._alive:
+                return entry[0]
+            self._drop_dead()
+            if self._heap:
+                return self._heap[0][0]
+        return None
 
     def pop(self) -> Event:
         """Remove and return the next live event.
@@ -138,12 +245,16 @@ class EventQueue:
         Raises:
             IndexError: if the queue is empty.
         """
-        self._drop_dead()
-        if not self._heap:
-            raise IndexError("pop from empty EventQueue")
-        _, _, event = heapq.heappop(self._heap)
-        self._live -= 1
-        return event
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heappop(heap)
+            event = entry[2]
+            if event._alive:
+                self._live -= 1
+                return event
+            self._dead -= 1
+        raise IndexError("pop from empty EventQueue")
 
     def pop_until(self, limit: SimTime) -> Iterator[Event]:
         """Yield live events with ``time < limit`` in order, removing them."""
@@ -157,3 +268,4 @@ class EventQueue:
         """Drop all events (used when tearing a simulation down)."""
         self._heap.clear()
         self._live = 0
+        self._dead = 0

@@ -108,6 +108,16 @@ def _parser() -> argparse.ArgumentParser:
         "chrome://tracing) or 'jsonl' (one event object per line)",
     )
     common.add_argument(
+        "--profile",
+        metavar="FILE",
+        nargs="?",
+        const="profile.pstats",
+        default=argparse.SUPPRESS,
+        help="run the whole command under cProfile; dump pstats data to "
+        "FILE (default: profile.pstats) and print the top 25 functions "
+        "by cumulative time to stderr",
+    )
+    common.add_argument(
         "--trace-diff",
         action="store_true",
         default=argparse.SUPPRESS,
@@ -243,6 +253,29 @@ def main(argv: list[str] | None = None) -> int:
 
 def _main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return _execute(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(_execute, args)
+    finally:
+        profiler.dump_stats(profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("\n[profile] top 25 functions by cumulative time:", file=sys.stderr)
+        stats.print_stats(25)
+        print(
+            f"[profile] full stats written to {profile} "
+            "(inspect with: python -m pstats)",
+            file=sys.stderr,
+        )
+
+
+def _execute(args: argparse.Namespace) -> int:
     # Shared options use SUPPRESS defaults (see _parser), so read them
     # with fallbacks.
     args.seed = getattr(args, "seed", 42)

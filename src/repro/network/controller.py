@@ -29,7 +29,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Protocol
 
 from repro.engine.units import SimTime
-from repro.network.latency import LatencyModel
+from repro.network.latency import LatencyModel, NicSwitchLatencyModel, UniformLatencyModel
+from repro.network.topology import FullyConnectedTopology, StarTopology
 from repro.network.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - the sanitizer imports this module
@@ -64,7 +65,7 @@ class DeliveryKind(enum.Enum):
     STRAGGLER_NEXT_QUANTUM = "straggler-next-quantum"
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryDecision:
     """The controller's verdict for one frame/destination pair."""
 
@@ -128,20 +129,70 @@ class NetworkController:
         self.trace = trace
         self.stats = ControllerStats()
         self.packets_this_quantum = 0
-        #: Causality sanitizer observing every delivery decision; set by the
-        #: driver when checking is enabled (see ``repro.analysis.invariants``).
-        self.sanitizer: Optional["CausalitySanitizer"] = None
-        #: Fault injector deciding per-frame drop/duplicate/jitter verdicts;
-        #: set by the driver when the run carries a fault plan (the clean
-        #: path pays a single ``is None`` test per frame).
-        self.injector: Optional["FaultInjector"] = None
-        #: Trace collector observing every delivery decision and fault
-        #: verdict; set by the driver when the run is traced (see
-        #: :mod:`repro.obs`).  The legacy ``trace`` callable above remains
-        #: for direct construction; the harness routes through this.
-        self.collector: Optional["TraceCollector"] = None
+        self._sanitizer: Optional["CausalitySanitizer"] = None
+        self._injector: Optional["FaultInjector"] = None
+        self._collector: Optional["TraceCollector"] = None
+        #: True while no fault injector, sanitizer, collector, or legacy
+        #: trace callable is attached: the unicast submission path then
+        #: skips all observer plumbing (the hot path of clean runs).
+        self._plain = trace is None
         self._future: list[tuple[SimTime, int, DeliveryDecision]] = []
         self._future_seq = 0
+        #: Latency results may be memoized only for the known-pure stock
+        #: models (latency is then a function of ``(src, dst, size)``);
+        #: custom or subclassed models are never cached.
+        self._latency_pure = type(latency_model) is UniformLatencyModel or (
+            type(latency_model) is NicSwitchLatencyModel
+            and type(latency_model.topology) in (StarTopology, FullyConnectedTopology)
+        )
+        self._latency_memo: dict[tuple[int, int, int], SimTime] = {}
+
+    def _refresh_plain(self) -> None:
+        self._plain = (
+            self._injector is None
+            and self._sanitizer is None
+            and self._collector is None
+            and self.trace is None
+        )
+
+    # The observers are plain-looking attributes assigned by the driver
+    # after construction; properties keep the `_plain` fast-path flag in
+    # sync without changing that surface.
+
+    @property
+    def sanitizer(self) -> Optional["CausalitySanitizer"]:
+        """Causality sanitizer observing every delivery decision; set by the
+        driver when checking is enabled (see ``repro.analysis.invariants``)."""
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, value: Optional["CausalitySanitizer"]) -> None:
+        self._sanitizer = value
+        self._refresh_plain()
+
+    @property
+    def injector(self) -> Optional["FaultInjector"]:
+        """Fault injector deciding per-frame drop/duplicate/jitter verdicts;
+        set by the driver when the run carries a fault plan."""
+        return self._injector
+
+    @injector.setter
+    def injector(self, value: Optional["FaultInjector"]) -> None:
+        self._injector = value
+        self._refresh_plain()
+
+    @property
+    def collector(self) -> Optional["TraceCollector"]:
+        """Trace collector observing every delivery decision and fault
+        verdict; set by the driver when the run is traced (see
+        :mod:`repro.obs`).  The legacy ``trace`` callable remains for
+        direct construction; the harness routes through this."""
+        return self._collector
+
+    @collector.setter
+    def collector(self, value: Optional["TraceCollector"]) -> None:
+        self._collector = value
+        self._refresh_plain()
 
     def bind(self, cluster: ClusterState) -> None:
         """Attach the cluster driver (done once the driver is constructed)."""
@@ -170,7 +221,52 @@ class NetworkController:
             dst = packet.dst
             if not 0 <= dst < self.num_nodes:
                 raise ValueError(f"destination {dst} out of range")
-            if self.injector is not None:
+            if self._plain:
+                # No injector, sanitizer, collector, or trace attached:
+                # decide and account inline, skipping every observer hook
+                # (and the zero delay-error bookkeeping of exact kinds).
+                # Results are identical to _decide + _account.
+                stats = self.stats
+                stats.packets_routed += 1
+                self.packets_this_quantum += 1
+                end = self.cluster.quantum_window()[1]
+                due = packet.send_time + self.latency_model.latency(packet, dst)
+                packet.due_time = due
+                if due >= end:
+                    packet.deliver_time = due
+                    stats.exact_future += 1
+                    self._hold(
+                        DeliveryDecision(packet, DeliveryKind.EXACT_FUTURE, due)
+                    )
+                    return []
+                position = self.cluster.node_position_at(dst, sender_host_time)
+                if position <= due:
+                    packet.deliver_time = due
+                    stats.exact_now += 1
+                    return [DeliveryDecision(packet, DeliveryKind.EXACT_NOW, due)]
+                packet.straggler = True
+                if position < end:
+                    packet.deliver_time = position
+                    stats.stragglers_now += 1
+                    error = position - due
+                    stats.total_delay_error += error
+                    if error > stats.max_delay_error:
+                        stats.max_delay_error = error
+                    return [
+                        DeliveryDecision(packet, DeliveryKind.STRAGGLER_NOW, position)
+                    ]
+                # Destination already at the barrier: queue to next quantum.
+                packet.deliver_time = end
+                stats.stragglers_next_quantum += 1
+                error = end - due
+                stats.total_delay_error += error
+                if error > stats.max_delay_error:
+                    stats.max_delay_error = error
+                self._hold(
+                    DeliveryDecision(packet, DeliveryKind.STRAGGLER_NEXT_QUANTUM, end)
+                )
+                return []
+            if self._injector is not None:
                 self._route_faulted(packet, dst, sender_host_time, False, immediate)
                 return immediate
             decision = self._decide(packet, dst, sender_host_time)
@@ -192,6 +288,76 @@ class NetworkController:
             else:
                 self._hold(decision)
         return immediate
+
+    def submit_held_batch(
+        self, pending: list[tuple[float, int, int, Packet]]
+    ) -> None:
+        """Route a window's emissions, pre-sorted into the global host-time
+        order the event-interleaved path would have produced.
+
+        Used by the driver's ground-truth window drain, which is only
+        eligible when the quantum is no longer than the network's minimum
+        latency — every frame is then provably due at or beyond the quantum
+        end and takes exactly the unicast ``EXACT_FUTURE`` path of
+        :meth:`submit`.  A frame that would need any other path means the
+        caller's eligibility reasoning is broken, and raises.
+
+        Entries are ``(sender_host_time, node_id, order, packet)``; only
+        the host time and packet are used here (the middle fields make the
+        caller's sort total without comparing packets).
+        """
+        if self.cluster is None:
+            raise RuntimeError("controller is not bound to a cluster")
+        if not self._plain:
+            # Sanitizer (or legacy trace callable) attached: take the
+            # ordinary per-frame path so every observer fires in order.
+            for host_time, _node, _order, packet in pending:
+                if self.submit(packet, host_time):
+                    raise RuntimeError(
+                        "drain window produced an immediate delivery"
+                    )
+            return
+        end = self.cluster.quantum_window()[1]
+        num_nodes = self.num_nodes
+        latency = self.latency_model.latency
+        memo = self._latency_memo if self._latency_pure else None
+        future = self._future
+        seq = self._future_seq
+        heappush = heapq.heappush
+        routed = 0
+        for host_time, _node, _order, packet in pending:
+            dst = packet.dst
+            if not 0 <= dst < num_nodes:
+                # Broadcasts (and range errors) take the general path.
+                if self.submit(packet, host_time):
+                    raise RuntimeError(
+                        "drain window produced an immediate delivery"
+                    )
+                continue
+            if memo is not None:
+                key = (packet.src, dst, packet.size_bytes)
+                lat = memo.get(key)
+                if lat is None:
+                    lat = memo[key] = latency(packet, dst)
+                due = packet.send_time + lat
+            else:
+                due = packet.send_time + latency(packet, dst)
+            if due < end:
+                raise RuntimeError(
+                    f"drain window frame due at {due} before quantum end {end}"
+                )
+            packet.due_time = due
+            packet.deliver_time = due
+            heappush(
+                future,
+                (due, seq, DeliveryDecision(packet, DeliveryKind.EXACT_FUTURE, due)),
+            )
+            seq += 1
+            routed += 1
+        self._future_seq = seq
+        self.stats.packets_routed += routed
+        self.stats.exact_future += routed
+        self.packets_this_quantum += routed
 
     def _route_faulted(
         self,

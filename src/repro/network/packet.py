@@ -37,7 +37,7 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A link-layer frame in flight.
 

@@ -120,6 +120,19 @@ class HostExecutionModel:
             return parts[0]
         return np.concatenate(parts)
 
+    def take_jitter(self, count: int) -> np.ndarray:
+        """Consume *count* per-quantum jitter draws from this node's stream.
+
+        Public entry point for drivers that batch jitter across nodes (the
+        vectorised stepper prefetches one row per quantum); consumes exactly
+        the same stream positions as :meth:`slowdown_pair` /
+        :meth:`slowdowns`, so batched and per-call consumption interleave
+        without desynchronising the stream.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._take_jitter(count)
+
     def busy_base_at(self, sim_time: SimTime) -> float:
         """Busy slowdown baseline at *sim_time* (constant here; subclasses
         such as the sampling model vary it over simulated time)."""
@@ -155,7 +168,17 @@ class HostExecutionModel:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        jitter = self._take_jitter(count)
+        return self.slowdowns_from(self._take_jitter(count), activity, times)
+
+    def slowdowns_from(
+        self, jitter: np.ndarray, activity: str, times: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """:meth:`slowdowns` for jitter draws already taken from the stream.
+
+        Lets a driver that prefetched jitter (see :meth:`take_jitter`)
+        apply exactly the slowdown formula of :meth:`slowdowns` — same
+        elementwise operation order, so results are bit-identical.
+        """
         if activity == BUSY and times is not None:
             return self.busy_bases_at(times) * self.node_factor * jitter
         return self._base(activity) * self.node_factor * jitter

@@ -23,7 +23,7 @@ from repro.network.packet import Packet, frames_for_message
 from repro.node.requests import Recv
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A reassembled application-level message."""
 
@@ -48,7 +48,7 @@ class Message:
         return self.arrived_at - self.sent_at
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reassembly:
     message: Message
     received: int = 0
@@ -83,6 +83,11 @@ class NicModel:
         self.mtu = mtu
         self._ns_per_byte = 8.0e9 / bandwidth_bits_per_sec
         self._tx_free_at: SimTime = 0
+        # Workloads send from a handful of fixed message sizes, so the
+        # fragmentation plan (frame sizes + wire bytes) and per-frame wire
+        # times are memoized; both are pure functions of the size.
+        self._frame_plans: dict[int, tuple[list[int], int]] = {}
+        self._wire_ns: dict[int, SimTime] = {}
         self._message_ids = itertools.count()
         self._reassembly: dict[tuple[int, int], _Reassembly] = {}
         self.mailbox: list[Message] = []
@@ -103,7 +108,10 @@ class NicModel:
         before the previous one finished serialising.
         """
         start = max(now, self._tx_free_at)
-        self._tx_free_at = start + self.serialization(size_bytes)
+        wire = self._wire_ns.get(size_bytes)
+        if wire is None:
+            wire = self._wire_ns[size_bytes] = self.serialization(size_bytes)
+        self._tx_free_at = start + wire
         return start
 
     def build_frames(
@@ -123,10 +131,32 @@ class NicModel:
         transport) paces each frame when it is admitted to the wire.
         """
         message_id = next(self._message_ids)
-        sizes = frames_for_message(nbytes, self.mtu)
+        plan = self._frame_plans.get(nbytes)
+        if plan is None:
+            sizes = frames_for_message(nbytes, self.mtu)
+            plan = self._frame_plans[nbytes] = (sizes, sum(sizes))
+        sizes, wire_bytes = plan
+        stats = self.stats
+        stats.messages_sent += 1
+        if len(sizes) == 1:
+            # Below-MTU message: one frame carrying the whole header.
+            size = sizes[0]
+            stats.frames_sent += 1
+            stats.bytes_sent += size
+            return [
+                Packet(
+                    src=self.node_id,
+                    dst=dst,
+                    size_bytes=size,
+                    send_time=self.pace(now, size) if paced else now,
+                    message_id=message_id,
+                    payload=(tag, nbytes, payload),
+                )
+            ]
         frames = []
+        final = len(sizes) - 1
         for index, size in enumerate(sizes):
-            last = index == len(sizes) - 1
+            last = index == final
             frames.append(
                 Packet(
                     src=self.node_id,
@@ -141,9 +171,8 @@ class NicModel:
                     payload=(tag, nbytes, payload) if last else None,
                 )
             )
-        self.stats.frames_sent += len(frames)
-        self.stats.bytes_sent += sum(sizes)
-        self.stats.messages_sent += 1
+        stats.frames_sent += len(frames)
+        stats.bytes_sent += wire_bytes
         return frames
 
     # ------------------------------------------------------------------ #
@@ -154,8 +183,31 @@ class NicModel:
         """Account an arriving fragment; return the Message if it completes one."""
         if packet.deliver_time is None or packet.due_time is None:
             raise ValueError("fragment reached NIC without delivery stamps")
-        self.stats.frames_received += 1
-        self.stats.bytes_received += packet.size_bytes
+        stats = self.stats
+        stats.frames_received += 1
+        stats.bytes_received += packet.size_bytes
+        if packet.last_fragment and packet.fragment == 0:
+            # Single-frame message (the common case below the jumbo MTU):
+            # no partial reassembly can exist for it — duplicates are
+            # suppressed upstream by the recovery transport — so build the
+            # completed Message directly.  Field-for-field identical to
+            # what the incremental path would produce.
+            tag, nbytes, payload = packet.payload
+            message = Message(
+                src=packet.src,
+                dst=self.node_id,
+                tag=tag,
+                nbytes=nbytes,
+                payload=payload,
+                message_id=packet.message_id,
+                sent_at=packet.send_time,
+                arrived_at=packet.deliver_time,
+                ideal_arrival=packet.due_time,
+                fragments=1,
+            )
+            self.mailbox.append(message)
+            stats.messages_received += 1
+            return message
         key = (packet.src, packet.message_id)
         entry = self._reassembly.get(key)
         if entry is None:

@@ -18,6 +18,7 @@ it only ever interacts with the world through timestamped packet emissions
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
@@ -98,6 +99,12 @@ class SimulatedNode:
         self.stats = NodeStats()
         self._blocked_recv: Optional[Recv] = None
         self._blocked_since: SimTime = 0
+        # Workloads iterate a handful of distinct compute sizes and message
+        # sizes; the cost models are pure, so their results are memoized
+        # per node (cpu/costs may differ between nodes).
+        self._compute_memo: dict[float, SimTime] = {}
+        self._send_cost_memo: dict[int, SimTime] = {}
+        self._recv_cost_memo: dict[int, SimTime] = {}
         #: Driver-installed callback invoked when an emission event fires.
         self.emit_hook: Optional[Callable[["SimulatedNode", Packet], None]] = None
         #: Driver-installed callback invoked when the node's activity flips
@@ -140,22 +147,75 @@ class SimulatedNode:
             self.emit_hook(self, event.payload)
         elif event.tag == "delivery":
             self._on_fragment(event.time, event.payload)
-        elif event.tag == "delack":
+        else:
+            self._handle_timer(event.tag, event.payload, event.time)
+        return event
+
+    def _handle_timer(self, tag: str, payload: Any, now: SimTime) -> None:
+        """Dispatch the rare event tags (transport timers)."""
+        if tag == "delack":
             assert self.transport is not None
-            ack = self.transport.flush_ack(event.payload, self.nic.pace, event.time)
+            ack = self.transport.flush_ack(payload, self.nic.pace, now)
             if ack is not None:
                 self.queue.schedule(ack.send_time, tag="emit", payload=ack)
-        elif event.tag == "rto":
+        elif tag == "rto":
             assert self.transport is not None
-            dst, serial = event.payload
-            for frame in self.transport.on_rto(dst, serial, self.nic.pace, event.time):
+            dst, serial = payload
+            for frame in self.transport.on_rto(dst, serial, self.nic.pace, now):
                 self.queue.schedule(frame.send_time, tag="emit", payload=frame)
                 if self.collector is not None:
-                    self.collector.on_retransmit(self.node_id, frame, event.time)
+                    self.collector.on_retransmit(self.node_id, frame, now)
             self._drain_transport_timers()
         else:
-            raise RuntimeError(f"{self.name}: unknown event tag {event.tag!r}")
-        return event
+            raise RuntimeError(f"{self.name}: unknown event tag {tag!r}")
+
+    def drain_window(self, end: SimTime) -> tuple[int, Optional[SimTime]]:
+        """Pop and handle every local event before *end* in one pass.
+
+        Semantically identical to ``while peek_time() < end:
+        pop_and_handle()``, with the peek/pop pair fused into a single
+        heap access per event — this is the inner loop of the driver's
+        ground-truth drain stepper.  Returns ``(events handled, next
+        event time)``, the second element being exactly what
+        ``peek_time()`` would return afterwards.
+        """
+        queue = self.queue
+        heappop = heapq.heappop
+        stats = self.stats
+        advance = self._advance_app
+        on_fragment = self._on_fragment
+        emit = self.emit_hook
+        handled = 0
+        while True:
+            # Re-read the heap each iteration: a handler-triggered cancel
+            # can compact the queue, which rebinds the underlying list.
+            heap = queue._heap
+            if not heap:
+                return handled, None
+            entry = heap[0]
+            event = entry[2]
+            if not event._alive:
+                heappop(heap)
+                queue._dead -= 1
+                continue
+            time = entry[0]
+            if time >= end:
+                return handled, time
+            heappop(heap)
+            queue._live -= 1
+            handled += 1
+            tag = event.tag
+            if tag == "app-wake":
+                stats.app_wakeups += 1
+                advance(time, event.payload)
+            elif tag == "emit":
+                if emit is None:
+                    raise RuntimeError(f"{self.name}: emit event without emit_hook")
+                emit(self, event.payload)
+            elif tag == "delivery":
+                on_fragment(time, event.payload)
+            else:
+                self._handle_timer(tag, event.payload, time)
 
     def deliver(self, packet: Packet, time: SimTime) -> None:
         """Schedule a fragment delivery at *time* (called by the driver)."""
@@ -182,23 +242,30 @@ class SimulatedNode:
         self._interpret(request, now)
 
     def _interpret(self, request: Request, now: SimTime) -> None:
+        # Ordered by frequency in the paper's workloads: compute phases and
+        # send/recv exchanges dominate; explicit timed waits are rare.
         if isinstance(request, Compute):
-            self._wake_after(now, self.cpu.compute_time(request.ops), BUSY)
-        elif isinstance(request, ComputeTime):
-            self._wake_after(now, request.duration, BUSY)
-        elif isinstance(request, Sleep):
-            self._wake_after(now, request.duration, IDLE)
+            ops = request.ops
+            delay = self._compute_memo.get(ops)
+            if delay is None:
+                delay = self._compute_memo[ops] = self.cpu.compute_time(ops)
+            self._wake_after(now, delay, BUSY)
         elif isinstance(request, Send):
             self._do_send(request, now)
         elif isinstance(request, Recv):
             self._do_recv(request, now)
+        elif isinstance(request, ComputeTime):
+            self._wake_after(now, request.duration, BUSY)
+        elif isinstance(request, Sleep):
+            self._wake_after(now, request.duration, IDLE)
         else:
             raise TypeError(
                 f"{self.name}: application yielded unsupported request {request!r}"
             )
 
     def _wake_after(self, now: SimTime, delay: SimTime, activity: str, value: Any = None) -> None:
-        self._set_activity(now, activity)
+        if activity != self.activity:
+            self._set_activity(now, activity)
         self.queue.schedule(now + delay, tag="app-wake", payload=value)
 
     def _do_send(self, request: Send, now: SimTime) -> None:
@@ -213,10 +280,21 @@ class SimulatedNode:
             )
             frames = self.transport.admit(built, self.nic.pace, now)
             self._drain_transport_timers()
-        for frame in frames:
+        if len(frames) == 1:
+            frame = frames[0]
             self.queue.schedule(frame.send_time, tag="emit", payload=frame)
+        else:
+            # Large messages fragment into jumbo-frame bursts; schedule the
+            # burst in bulk to avoid per-frame heap churn.
+            self.queue.schedule_many(
+                [(frame.send_time, frame) for frame in frames], tag="emit"
+            )
         self.stats.messages_sent += 1
-        self._wake_after(now, self.costs.send_cost(request.nbytes), BUSY)
+        nbytes = request.nbytes
+        cost = self._send_cost_memo.get(nbytes)
+        if cost is None:
+            cost = self._send_cost_memo[nbytes] = self.costs.send_cost(nbytes)
+        self._wake_after(now, cost, BUSY)
 
     def _drain_transport_timers(self) -> None:
         """Schedule any RTO timers the transport requested (recovery mode)."""
@@ -240,7 +318,11 @@ class SimulatedNode:
         if message.delay_error > 0:
             self.stats.straggler_messages += 1
             self.stats.straggler_delay += message.delay_error
-        self._wake_after(now, self.costs.recv_cost(message.nbytes), BUSY, value=message)
+        nbytes = message.nbytes
+        cost = self._recv_cost_memo.get(nbytes)
+        if cost is None:
+            cost = self._recv_cost_memo[nbytes] = self.costs.recv_cost(nbytes)
+        self._wake_after(now, cost, BUSY, value=message)
 
     def _on_fragment(self, now: SimTime, packet: Packet) -> None:
         self.stats.deliveries += 1

@@ -27,7 +27,7 @@ ANY_SOURCE = -2
 ANY_TAG = -2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Execute *ops* target instructions."""
 
@@ -38,7 +38,7 @@ class Compute:
             raise ValueError("ops must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeTime:
     """Execute busy target code for a fixed simulated duration."""
 
@@ -49,7 +49,7 @@ class ComputeTime:
             raise ValueError("duration must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """Send *nbytes* of application payload to node *dst*.
 
@@ -68,7 +68,7 @@ class Send:
             raise ValueError("nbytes must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Recv:
     """Block until a message matching (src, tag) arrives.
 
@@ -87,7 +87,7 @@ class Recv:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sleep:
     """Idle (target HLT) for a fixed simulated duration."""
 

@@ -148,3 +148,80 @@ class TestEventQueue:
         for event in events[::2]:
             queue.cancel(event)
         assert len(queue) == len(times) - len(events[::2])
+
+
+class TestCompaction:
+    """The lazy-deletion heap must shed dead entries in bulk: cancelling
+    most of a large queue may not leave the survivors buried under dead
+    weight that every later push/pop has to sift around."""
+
+    def test_dead_entry_counter_is_visible(self):
+        queue = EventQueue()
+        events = [queue.schedule(t) for t in range(10)]
+        for event in events[:5]:
+            queue.cancel(event)
+        # Below the compaction threshold: the dead entries linger.
+        assert queue.dead_entries == 5
+        assert len(queue) == 5
+
+    def test_compaction_triggers_when_dead_entries_dominate(self):
+        queue = EventQueue()
+        events = [queue.schedule(t) for t in range(100)]
+        for event in events[:80]:
+            queue.cancel(event)
+        # Dead entries crossed the threshold repeatedly along the way;
+        # bulk rebuilds kept them from ever dominating the heap.  The few
+        # stragglers below the trigger point are bounded, not O(cancels).
+        assert queue.dead_entries * 2 <= len(queue._heap)
+        assert len(queue._heap) < 40  # 80 cancels did not pile up
+        assert len(queue) == 20
+        assert [queue.pop().time for _ in range(len(queue))] == list(range(80, 100))
+
+    def test_pop_and_peek_maintain_the_dead_counter(self):
+        queue = EventQueue()
+        events = [queue.schedule(t) for t in range(20)]
+        for event in events[:10:2]:
+            queue.cancel(event)
+        assert queue.dead_entries == 5
+        # Popping past the dead heads consumes them and their counter.
+        assert queue.pop().time == 1
+        assert queue.dead_entries < 5
+
+    def test_cancellation_churn_is_not_quadratic(self):
+        """Structural bound, not a timing test: under heavy schedule/cancel
+        churn the heap may never grow beyond the live entries plus the
+        bounded dead allowance the compaction policy tolerates."""
+        queue = EventQueue()
+        live: list[Event] = []
+        for wave in range(50):
+            fresh = [queue.schedule(wave * 1000 + i) for i in range(100)]
+            for event in fresh[:90]:
+                queue.cancel(event)
+            live.extend(fresh[90:])
+            # Invariant enforced by cancel(): dead entries never dominate
+            # (beyond the small fixed trigger threshold).
+            assert (
+                queue.dead_entries < EventQueue._COMPACT_MIN_DEAD
+                or queue.dead_entries * 2 <= len(queue._heap)
+            )
+            assert len(queue._heap) <= 2 * len(queue) + EventQueue._COMPACT_MIN_DEAD
+        assert len(queue) == 50 * 10
+        popped = [queue.pop().time for _ in range(len(queue))]
+        assert popped == sorted(popped)
+
+    def test_schedule_many_matches_individual_schedules(self):
+        bulk = EventQueue()
+        single = EventQueue()
+        items = [(7, "a"), (3, "b"), (7, "c"), (0, "d")]
+        bulk.schedule_many(items, tag="emit")
+        for time, payload in items:
+            single.schedule(time, tag="emit", payload=payload)
+        def drain(queue):
+            return [(e.time, e.payload) for e in (queue.pop() for _ in range(len(queue)))]
+
+        assert drain(bulk) == drain(single) == [(0, "d"), (3, "b"), (7, "a"), (7, "c")]
+
+    def test_schedule_many_rejects_negative_times(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule_many([(1, None), (-1, None)])
