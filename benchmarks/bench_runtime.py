@@ -46,11 +46,31 @@ from benchlib import REPO_ROOT, all_cases, bench_meta, full_cases, quick_cases
 DEFAULT_ROUNDS = 3
 DEFAULT_MAX_REGRESSION = 0.30
 
+#: Minimum wall-clock speedup a sharded case must show over the serial
+#: vectorized path — enforced only when the host has at least as many
+#: CPUs as the case has shards (a 1-CPU host serializes the workers, so
+#: the committed reference numbers may legitimately show < 1x there; the
+#: report records the recording host's cpu_count for exactly this reason).
+SHARD_SPEEDUP_FLOORS = {"is64_gt_shard4": 2.0}
+
+
+def _sharded_registry() -> dict[str, tuple[list, int]]:
+    merged = dict(benchlib.sharded_cases(quick=False))
+    merged.update(benchlib.sharded_cases(quick=True))
+    return merged
+
 
 def _run_one(case: str, mode: str) -> None:
     """Internal entry point: time one case once and print JSON to stdout."""
-    runs = all_cases()[case]
-    stats = benchlib.time_case(runs, vectorized=(mode == "vec"))
+    sharded = _sharded_registry()
+    if case in sharded:
+        runs, shards = sharded[case]
+        stats = benchlib.time_case(
+            runs, vectorized=True, shards=shards if mode == "shard" else 1
+        )
+    else:
+        runs = all_cases()[case]
+        stats = benchlib.time_case(runs, vectorized=(mode == "vec"))
     print(json.dumps(stats))
 
 
@@ -89,6 +109,28 @@ def _verify_identical(case: str, runs) -> dict:
         )
         assert scalar_result == vec_result, (
             f"{case}: vectorized RunResult differs from the scalar reference"
+        )
+        if perf is not None:
+            events += perf.events
+            quanta += perf.event_quanta + perf.ff_quanta
+    return {"events": events, "quanta": quanta}
+
+
+def _verify_sharded(case: str, runs, shards: int) -> dict:
+    """Run the case serially and sharded in-process; assert equal results."""
+    events = 0
+    quanta = 0
+    for factory in runs:
+        workload, size, policy = factory()
+        serial_result, _, _ = benchlib.run_once(
+            workload, size, policy, vectorized=True
+        )
+        workload, size, policy = factory()
+        shard_result, perf, _ = benchlib.run_once(
+            workload, size, policy, vectorized=True, shards=shards
+        )
+        assert serial_result == shard_result, (
+            f"{case}: sharded RunResult differs from the serial reference"
         )
         if perf is not None:
             events += perf.events
@@ -203,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
                 "baseline_wall_s": (
                     round(best["baseline"], 3) if "baseline" in best else None
                 ),
+                "workers": 1,
                 "events": counts["events"],
                 "quanta": counts["quanta"],
                 "events_per_sec": round(counts["events"] / vec, 1),
@@ -215,6 +258,62 @@ def main(argv: list[str] | None = None) -> int:
             }
             report_cases[name] = entry
 
+    # Sharded cases: timed against the serial vectorized path (never the
+    # baseline tree — it predates repro.shard).  The speedup gate only
+    # applies when the host can actually run the workers concurrently.
+    cpu_count = os.cpu_count() or 1
+    gate_failures: list[str] = []
+    for name, (runs, shards) in benchlib.sharded_cases(quick=args.quick).items():
+        print(f"[{name}] verifying {shards}-shard == serial ...", flush=True)
+        counts = _verify_sharded(name, runs, shards)
+        best = {}
+        for round_index in range(args.rounds):
+            for mode in ("serial", "shard"):
+                sub_mode = "vec" if mode == "serial" else "shard"
+                wall = _subprocess_time(name, sub_mode, None)["wall_s"]
+                best[mode] = min(best.get(mode, wall), wall)
+                print(
+                    f"[{name}] round {round_index + 1} {mode:8s}"
+                    f" {wall:7.3f}s",
+                    flush=True,
+                )
+        wall = best["shard"]
+        speedup = best["serial"] / wall
+        entry = {
+            "wall_s": round(wall, 3),
+            "serial_wall_s": round(best["serial"], 3),
+            "workers": shards,
+            "events": counts["events"],
+            "quanta": counts["quanta"],
+            "events_per_sec": round(counts["events"] / wall, 1),
+            "quanta_per_sec": round(counts["quanta"] / wall, 1),
+            "speedup_vs_serial": round(speedup, 2),
+            "identical_to_serial": True,
+        }
+        floor = SHARD_SPEEDUP_FLOORS.get(name)
+        if cpu_count < shards:
+            print(
+                f"[{name}] WARNING: host has {cpu_count} CPU(s) for "
+                f"{shards} shards; the workers serialize, so the sharded "
+                "speedup gate is skipped (re-measure on a host with "
+                f">= {shards} cores)",
+                file=sys.stderr,
+            )
+            entry["speedup_gate"] = (
+                f"skipped: cpu_count={cpu_count} < shards={shards}"
+            )
+        elif floor is None:
+            entry["speedup_gate"] = "ungated"
+        elif speedup < floor:
+            entry["speedup_gate"] = f"fail: {speedup:.2f}x < {floor}x"
+            gate_failures.append(
+                f"{name}: sharded speedup {speedup:.2f}x is below the "
+                f"{floor}x floor at {shards} shards ({cpu_count} CPUs)"
+            )
+        else:
+            entry["speedup_gate"] = "pass"
+        report_cases[name] = entry
+
     meta = bench_meta(
         generated_by="benchmarks/bench_runtime.py",
         rounds=args.rounds,
@@ -224,20 +323,30 @@ def main(argv: list[str] | None = None) -> int:
     benchlib.write_report(out, meta, report_cases)
 
     width = max(len(name) for name in report_cases)
-    print(f"\n{'case':<{width}}  {'vec':>8} {'scalar':>8} {'base':>8} "
-          f"{'vs scalar':>9} {'vs base':>8} {'events/s':>12}")
+    print(f"\n{'case':<{width}}  {'wall':>8} {'serial':>8} {'base':>8} "
+          f"{'speedup':>8} {'vs base':>8} {'workers':>7} {'events/s':>12}")
     for name, entry in report_cases.items():
-        base = entry["baseline_wall_s"]
-        vs_base = entry["speedup_vs_baseline"]
+        # Serial-vs-vectorized cases compare against the scalar reference;
+        # sharded cases against the serial vectorized path.
+        serial = entry.get("scalar_wall_s", entry.get("serial_wall_s"))
+        speedup = entry.get("speedup_vs_scalar", entry.get("speedup_vs_serial"))
+        base = entry.get("baseline_wall_s")
+        vs_base = entry.get("speedup_vs_baseline")
         print(
-            f"{name:<{width}}  {entry['wall_s']:>7.3f}s {entry['scalar_wall_s']:>7.3f}s "
+            f"{name:<{width}}  {entry['wall_s']:>7.3f}s {serial:>7.3f}s "
             f"{(f'{base:>7.3f}s' if base is not None else '       -')} "
-            f"{entry['speedup_vs_scalar']:>8.2f}x "
+            f"{speedup:>7.2f}x "
             f"{(f'{vs_base:>7.2f}x' if vs_base is not None else '       -')} "
+            f"{entry['workers']:>7} "
             f"{entry['events_per_sec']:>12,.0f}"
         )
     print(f"\n[saved to {out}]")
 
+    if gate_failures:
+        print("\nSHARDED SPEEDUP GATE:", file=sys.stderr)
+        for failure in gate_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
     if args.check is not None:
         failures = _check_regression(
             report_cases, args.check, args.max_regression

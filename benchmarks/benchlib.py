@@ -91,22 +91,42 @@ def run_once(
     *,
     vectorized: bool,
     seed: int = BENCH_SEED,
+    shards: int = 1,
 ) -> tuple[Any, Any, float]:
     """Build and run one cluster simulation; returns (result, perf, wall_s).
 
     ``perf`` is the driver's :class:`PerfCounters` when the checkout
-    exposes them, else ``None``.
+    exposes them, else ``None``.  ``shards > 1`` runs through the sharded
+    driver (bit-identical to serial; raises if the checkout predates it
+    or the configuration fell back to serial — a benchmark labelled
+    "sharded" must not silently time the serial path).
     """
-    apps = workload.build_apps(size)
-    nodes = [SimulatedNode(i, app) for i, app in enumerate(apps)]
-    controller = NetworkController(size, PAPER_NETWORK(size))
-    try:
-        config = ClusterConfig(seed=seed, vectorized=vectorized)
-    except TypeError:
-        # Pre-vectorization checkouts (baseline timing) have no
-        # ``vectorized`` knob; their only path is the scalar one.
-        config = ClusterConfig(seed=seed)
-    sim = ClusterSimulator(nodes, controller, policy, config)
+
+    def build() -> Any:
+        apps = workload.build_apps(size)
+        nodes = [SimulatedNode(i, app) for i, app in enumerate(apps)]
+        controller = NetworkController(size, PAPER_NETWORK(size))
+        try:
+            config = ClusterConfig(seed=seed, vectorized=vectorized)
+        except TypeError:
+            # Pre-vectorization checkouts (baseline timing) have no
+            # ``vectorized`` knob; their only path is the scalar one.
+            config = ClusterConfig(seed=seed)
+        return ClusterSimulator(nodes, controller, policy, config)
+
+    if shards > 1:
+        from repro.shard import run_sharded
+
+        started = time.perf_counter()
+        outcome = run_sharded(build, shards=shards)
+        wall = time.perf_counter() - started
+        if outcome.shards != shards:
+            raise RuntimeError(
+                f"sharded benchmark fell back to serial: "
+                f"{outcome.fallback_reason}"
+            )
+        return outcome.result, getattr(outcome.simulator, "perf", None), wall
+    sim = build()
     started = time.perf_counter()
     result = sim.run()
     wall = time.perf_counter() - started
@@ -184,14 +204,39 @@ def all_cases() -> dict[str, list[RunFactory]]:
     return cases
 
 
-def time_case(runs: list[RunFactory], *, vectorized: bool) -> dict[str, Any]:
+#: Worker processes per sharded benchmark case.  Sharded cases time the
+#: same runs as their serial counterparts but through ``repro.shard``; the
+#: per-case count is recorded in the report so a reader can judge the
+#: committed speedups against the recording host's ``meta.cpu_count``
+#: (speedup gates are skipped when the host has fewer CPUs than shards).
+def sharded_cases(quick: bool) -> dict[str, tuple[list[RunFactory], int]]:
+    from repro.workloads.nas_is import IsWorkload
+
+    if quick:
+        # Sub-second smoke for CI: big enough (16 nodes) that sharding is
+        # eligible and exercised, small enough to finish fast anywhere.
+        return {"is16_gt_shard2": ([lambda: (IsWorkload(), 16, _gt())], 2)}
+    # The acceptance case: a Section-6 64-node ground-truth run split
+    # four ways (>= 2x wall-clock expected on hosts with >= 4 cores).
+    return {
+        "is64_gt_shard4": (
+            [lambda: (IsWorkload(total_keys=2**24), 64, _gt())], 4
+        ),
+    }
+
+
+def time_case(
+    runs: list[RunFactory], *, vectorized: bool, shards: int = 1
+) -> dict[str, Any]:
     """Execute every run of a case once; returns summed wall/event counts."""
     wall = 0.0
     events = 0
     quanta = 0
     for factory in runs:
         workload, size, policy = factory()
-        _, perf, run_wall = run_once(workload, size, policy, vectorized=vectorized)
+        _, perf, run_wall = run_once(
+            workload, size, policy, vectorized=vectorized, shards=shards
+        )
         wall += run_wall
         if perf is not None:
             events += perf.events

@@ -26,7 +26,14 @@ from repro.core.baselines import (
     null_message_estimate,
     optimistic_estimate,
 )
-from repro.core.cluster import ClusterConfig, ClusterSimulator, DeadlockError, RunResult
+from repro.core.cluster import (
+    AUTO_VECTORIZE_MIN_NODES,
+    ClusterConfig,
+    ClusterSimulator,
+    DeadlockError,
+    RunResult,
+    resolve_vectorized,
+)
 from repro.core.quantum import (
     AdaptiveQuantumPolicy,
     AimdQuantumPolicy,
@@ -51,6 +58,8 @@ __all__ = [
     "ClusterConfig",
     "RunResult",
     "DeadlockError",
+    "AUTO_VECTORIZE_MIN_NODES",
+    "resolve_vectorized",
     "BucketTimeline",
     "HostCostBreakdown",
     "free_running",

@@ -63,6 +63,31 @@ class DeadlockError(RuntimeError):
     """All applications are blocked and no packet can ever wake them."""
 
 
+#: Cluster size below which ``vectorized="auto"`` picks the scalar stepper.
+#: The vectorized driver's per-window numpy setup (slowdown rows, rate
+#: arrays) is a fixed cost amortized over the nodes stepped per window; on
+#: small clusters the event density per window is too low to pay for it
+#: (measured crossover: the scalar path wins by up to ~2x at 2-4 nodes,
+#: the vectorized path wins from 8 nodes up on every paper workload).
+AUTO_VECTORIZE_MIN_NODES = 8
+
+
+def resolve_vectorized(vectorized: bool | str, num_nodes: int) -> bool:
+    """Resolve a ``ClusterConfig.vectorized`` setting for a cluster size.
+
+    ``"auto"`` picks the scalar stepper below
+    :data:`AUTO_VECTORIZE_MIN_NODES` and the vectorized one otherwise;
+    both drivers are bit-identical, so the choice is purely about speed.
+    """
+    if isinstance(vectorized, bool):
+        return vectorized
+    if vectorized == "auto":
+        return num_nodes >= AUTO_VECTORIZE_MIN_NODES
+    raise ValueError(
+        f"vectorized must be True, False, or 'auto', got {vectorized!r}"
+    )
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Driver options.
@@ -85,7 +110,10 @@ class ClusterConfig:
             reset one by one (the subset fast-forward), and window events
             are drained with run-length heap elision.  Bit-identical to
             the scalar reference path (``vectorized=False``), which is
-            kept for differential testing and benchmarking.
+            kept for differential testing and benchmarking.  The default
+            ``"auto"`` picks per cluster size: scalar below
+            :data:`AUTO_VECTORIZE_MIN_NODES` nodes (where the per-window
+            numpy setup costs more than it saves), vectorized otherwise.
         sampling: if set, node simulators follow this detailed/functional
             sampling schedule (the paper's future-work combination).
         check: run the causality sanitizer (None defers to ``REPRO_CHECK``
@@ -98,6 +126,12 @@ class ClusterConfig:
         trace: record structured trace events (see :mod:`repro.obs`);
             None disables tracing entirely.  Tracing only observes:
             a traced run's results are bit-identical to an untraced one.
+        shards: split this run's nodes across this many worker processes
+            (None defers to ``REPRO_SHARDS`` in the environment, like
+            ``check``/``REPRO_CHECK``).  Read by :mod:`repro.shard` —
+            :meth:`ClusterSimulator.run` itself always steps serially;
+            sharded results are bit-identical, so the setting never
+            enters cache keys.
     """
 
     seed: int = 42
@@ -108,11 +142,12 @@ class ClusterConfig:
     fast_forward: bool = True
     fast_forward_min_quanta: int = 4
     chunk: int = 1 << 16
-    vectorized: bool = True
+    vectorized: bool | str = "auto"
     sampling: Optional[SamplingSchedule] = None
     check: Optional[bool] = None
     faults: Optional[FaultPlan] = None
     trace: Optional[TraceConfig] = None
+    shards: Optional[int] = None
 
 
 @dataclass
@@ -245,26 +280,30 @@ class _JitterFeed:
         return row
 
     def rows(self, count: int) -> np.ndarray:
-        """The next *count* per-node draws, shape ``(count, N)``."""
+        """The next *count* draws per node, shape ``(N, count)``.
+
+        Node-major layout: row *i* is node *i*'s next *count* draws,
+        contiguous, so the fast-forward accelerator reads and fills each
+        node's stream without strided column access.  The draws are the
+        same numbers :meth:`row` would have produced quantum by quantum —
+        only the memory layout differs.
+        """
         models = self._models
         if self._ones_row is not None:
-            return np.ones((count, len(models)))
+            return np.ones((len(models), count))
         have = len(self._matrix) - self._cursor
         take = min(have, count)
         rest = count - take
-        if rest == 0:
-            head = self._matrix[self._cursor : self._cursor + take]
-            self._cursor += take
-            return head
-        # Fill one output block: prefetched head rows first, then each
-        # node's remaining draws straight from its stream (no temporary
-        # tail matrix, no concatenate copy).
-        out = np.empty((count, len(models)))
+        # Fill one output block: prefetched head rows first (transposed
+        # into node-major order), then each node's remaining draws straight
+        # from its stream into its contiguous row.
+        out = np.empty((len(models), count))
         if take:
-            out[:take] = self._matrix[self._cursor : self._cursor + take]
+            out[:, :take] = self._matrix[self._cursor : self._cursor + take].T
             self._cursor += take
-        for index, model in enumerate(models):
-            out[take:, index] = model.take_jitter(rest)
+        if rest:
+            for index, model in enumerate(models):
+                out[index, take:] = model.take_jitter(rest)
         return out
 
     def _fetch(self, rows: int) -> np.ndarray:
@@ -393,7 +432,9 @@ class ClusterSimulator:
         #: :class:`RunResult`, so scalar and vectorized results compare
         #: equal field-for-field).
         self.perf = PerfCounters()
-        self._vectorized = self.config.vectorized
+        self._vectorized = resolve_vectorized(
+            self.config.vectorized, len(nodes)
+        )
         self._sampling = self.config.sampling is not None
         # Vectorized-stepper state.  Per-quantum slowdowns live in numpy
         # arrays (plus plain-float lists for scalar access); a node's
@@ -1151,18 +1192,25 @@ class ClusterSimulator:
             if plain:
                 # slowdown = (base * node_factor) * jitter, elementwise —
                 # the same (commutative-exact) products the per-node
-                # slowdowns() calls would compute.
+                # slowdowns() calls would compute.  Accumulated node by
+                # node over the feed's contiguous per-node rows: small
+                # cache-resident temporaries instead of one (N, count)
+                # product matrix, and float max is order-insensitive.
                 coeff = (
                     np.where(self._busy_mask, self._busy_bases, self._idle_bases)
                     * self._node_factors
                 )
-                max_slow = (jitter * coeff).max(axis=1)
+                max_slow = jitter[0] * coeff[0]
+                for node_id in range(1, len(coeff)):
+                    np.maximum(
+                        max_slow, jitter[node_id] * coeff[node_id], out=max_slow
+                    )
             else:
                 assert activities is not None
                 ends = starts + lengths if stalled else None
                 models = self.host_models
                 max_slow = models[0].slowdowns_from(
-                    jitter[:, 0], activities[0], starts
+                    jitter[0], activities[0], starts
                 )
                 if stalled:
                     assert injector is not None and ends is not None
@@ -1173,7 +1221,7 @@ class ClusterSimulator:
                     zip(models[1:], activities[1:]), start=1
                 ):
                     slow = model.slowdowns_from(
-                        jitter[:, node_id], activity, starts
+                        jitter[node_id], activity, starts
                     )
                     if stalled:
                         assert injector is not None and ends is not None

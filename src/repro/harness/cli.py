@@ -94,6 +94,14 @@ def _parser() -> argparse.ArgumentParser:
         "that can lose frames automatically enable the recovery transport",
     )
     common.add_argument(
+        "--shards",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes per single simulation (sharded single-run "
+        "execution; bit-identical to serial, REPRO_SHARDS does the same; "
+        "ineligible runs fall back to serial with a reported reason)",
+    )
+    common.add_argument(
         "--trace",
         metavar="DIR",
         default=argparse.SUPPRESS,
@@ -284,6 +292,8 @@ def _execute(args: argparse.Namespace) -> int:
     args.cache_dir = getattr(args, "cache_dir", None)
     # None (not False) defers to the REPRO_CHECK environment variable.
     args.check = True if getattr(args, "check", False) else None
+    # None defers to REPRO_SHARDS; never part of cache keys (bit-identical).
+    args.shards = getattr(args, "shards", None)
     faults_spec = getattr(args, "faults", None)
     try:
         faults = load_plan(faults_spec) if faults_spec is not None else None
@@ -314,6 +324,7 @@ def _execute(args: argparse.Namespace) -> int:
         transport=_with_recovery(None, faults),
         progress=True,
         trace=trace_config,
+        shards=args.shards,
     )
 
     if args.command == "fig6":
@@ -351,6 +362,7 @@ def _execute(args: argparse.Namespace) -> int:
                 transport=_with_recovery(None, faults),
                 progress=True,
                 trace=trace_config,
+                shards=args.shards,
             )
             extra_runners.append(created)
             return created
@@ -385,6 +397,7 @@ def _execute(args: argparse.Namespace) -> int:
                 check=args.check,
                 faults=faults,
                 trace=trace_config,
+                shards=args.shards,
             )
             extra_runners.append(transport_runner)
             workload = StreamWorkload()

@@ -25,6 +25,7 @@ from repro.node.hostmodel import HostModelParams
 from repro.node.node import SimulatedNode
 from repro.node.transport import TransportConfig
 from repro.obs.collector import TraceCollector, TraceConfig
+from repro.shard import run_sharded
 from repro.workloads.base import Workload
 
 #: Collector settings used when only a :class:`TrafficTrace` is wanted:
@@ -89,6 +90,7 @@ class ExperimentRunner:
         check: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceConfig] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -100,6 +102,14 @@ class ExperimentRunner:
         self.check = check
         self.faults = faults
         self.trace = trace
+        #: Worker processes per single run (None defers to ``REPRO_SHARDS``).
+        #: Sharded results are bit-identical to serial, so this affects
+        #: wall-clock only — never metrics, comparisons, or cache keys.
+        self.shards = shards
+        #: Why the most recent run degraded from the requested shard count
+        #: to serial execution (None when sharding was off or succeeded) —
+        #: the single-run analogue of ``ParallelRunner.last_fallback_reason``.
+        self.last_shard_fallback_reason: Optional[str] = None
         #: Records carrying a structured trace, in completion order (the
         #: CLI exports/diffs these after the figure orchestrators, which
         #: return rendered rows rather than records).
@@ -118,36 +128,49 @@ class ExperimentRunner:
         label: str = "",
     ) -> ExperimentRecord:
         """Run *workload* on a fresh *size*-node cluster under *policy*."""
-        apps = workload.build_apps(size)
-        nodes = [
-            SimulatedNode(rank, app, transport=self.transport)
-            for rank, app in enumerate(apps)
-        ]
-        latency: LatencyModel = self.latency_factory(size)
-        # Traffic recording and structured tracing share one code path:
-        # the controller feeds the obs collector, and a TrafficTrace (when
-        # requested) is just a packet listener on that collector.
         trace = TrafficTrace(size) if self.record_traffic else None
-        trace_config = (
-            self.trace.for_run(workload.name, size, label or policy.describe())
-            if self.trace is not None
-            else (_TRAFFIC_CONDUIT if trace is not None else None)
-        )
-        controller = NetworkController(size, latency)
-        config = ClusterConfig(
-            seed=self.seed,
-            host_params=self.host_params,
-            barrier=self.barrier,
-            timeline_bucket=self.timeline_bucket,
-            check=self.check,
-            faults=self.faults,
-            trace=trace_config,
-        )
-        simulator = ClusterSimulator(nodes, controller, policy, config)
-        if trace is not None:
-            assert simulator.collector is not None
-            simulator.collector.add_packet_listener(trace.record)
-        result = simulator.run()
+
+        def build() -> ClusterSimulator:
+            # A full fresh simulator per call: run_sharded may call this a
+            # second time to re-run serially after a mid-flight worker
+            # failure, and a run is a pure function of what this builds.
+            apps = workload.build_apps(size)
+            nodes = [
+                SimulatedNode(rank, app, transport=self.transport)
+                for rank, app in enumerate(apps)
+            ]
+            latency: LatencyModel = self.latency_factory(size)
+            # Traffic recording and structured tracing share one code path:
+            # the controller feeds the obs collector, and a TrafficTrace
+            # (when requested) is just a packet listener on that collector.
+            trace_config = (
+                self.trace.for_run(
+                    workload.name, size, label or policy.describe()
+                )
+                if self.trace is not None
+                else (_TRAFFIC_CONDUIT if trace is not None else None)
+            )
+            controller = NetworkController(size, latency)
+            config = ClusterConfig(
+                seed=self.seed,
+                host_params=self.host_params,
+                barrier=self.barrier,
+                timeline_bucket=self.timeline_bucket,
+                check=self.check,
+                faults=self.faults,
+                trace=trace_config,
+                shards=self.shards,
+            )
+            simulator = ClusterSimulator(nodes, controller, policy, config)
+            if trace is not None:
+                assert simulator.collector is not None
+                simulator.collector.add_packet_listener(trace.record)
+            return simulator
+
+        outcome = run_sharded(build)
+        self.last_shard_fallback_reason = outcome.fallback_reason
+        result = outcome.result
+        simulator = outcome.simulator
         collector = simulator.collector if self.trace is not None else None
         if collector is not None:
             collector.close()
@@ -156,7 +179,7 @@ class ExperimentRunner:
                 f"{workload.name} at {size} nodes under {label or policy.describe()} "
                 f"hit the simulated-time limit (reached sim_time="
                 f"{format_time(result.sim_time)} of sim_time_limit="
-                f"{format_time(config.sim_time_limit)}); raise "
+                f"{format_time(simulator.config.sim_time_limit)}); raise "
                 f"ClusterConfig.sim_time_limit or shrink the workload"
             )
         record = ExperimentRecord(

@@ -140,6 +140,11 @@ class RunnerSettings:
     # traced runs are never cached (see ``cacheable``), so fault-free
     # cache keys stay byte-identical to pre-trace harness versions.
     trace: Optional[TraceConfig] = None
+    # Also absent from key_fragment(): a sharded run is bit-identical to a
+    # serial one (the acceptance gate of repro.shard), so results computed
+    # at any shard count share cache entries — and shards=1 keys stay
+    # byte-identical to pre-shard harness versions.
+    shards: Optional[int] = None
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -153,6 +158,7 @@ class RunnerSettings:
             check=self.check,
             faults=self.faults,
             trace=self.trace,
+            shards=self.shards,
         )
 
     @property
@@ -469,6 +475,7 @@ class ParallelRunner(ExperimentRunner):
         check: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceConfig] = None,
+        shards: Optional[int] = None,
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -486,6 +493,7 @@ class ParallelRunner(ExperimentRunner):
             check=check,
             faults=faults,
             trace=trace,
+            shards=shards,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -498,6 +506,7 @@ class ParallelRunner(ExperimentRunner):
             check=check,
             faults=faults,
             trace=trace,
+            shards=shards,
         )
         self.max_workers = max_workers
         self.progress = progress

@@ -1,0 +1,890 @@
+"""Sharded single-run execution: one cluster across many host processes.
+
+This is the paper's own execution model applied to the reproduction
+itself.  The original system ran *each simulated node* as a SimNow
+process on a farm blade, with a central mediator releasing them quantum
+by quantum; here the simulated nodes of one
+:class:`~repro.core.cluster.ClusterSimulator` are partitioned across N
+forked worker processes, and the parent process plays the mediator:
+
+* **Per-quantum barrier.**  The parent runs the unchanged
+  :class:`~repro.core.quantum.QuantumPolicy` loop — window selection,
+  fast-forward, quantum statistics, the barrier cost model — and drives
+  each window with one message round-trip per worker (the barrier).
+* **Shared-memory arrays.**  Per-quantum busy/idle clock rates flow
+  parent -> workers, and per-node next-event times plus the busy mask
+  flow workers -> parent, through shared numpy arrays (no per-window
+  serialization of hot state).  The parent draws every jitter value from
+  its own host models, so the RNG stream consumption is identical to a
+  serial run; workers never draw.
+* **Window-boundary frame exchange.**  Workers queue the frames their
+  nodes emit and hand them to the parent at the barrier, exactly like
+  the serial ground-truth drain: eligibility requires ``max_Q <= T``
+  (quantum never longer than the minimum network latency), so every
+  in-window emission is provably due at or beyond the barrier and no
+  node can observe another mid-window.  The parent sorts the merged
+  batch into the serial emission order and routes it through the
+  unchanged :class:`~repro.network.controller.NetworkController`.
+
+Because the windows are exactly the serial drain windows, the rates are
+the same doubles, the emission order is the same total order, and the
+cost reduction is a float ``max`` (insensitive to grouping), a sharded
+run is **bit-identical to the serial path** — the same acceptance gate
+the vectorized stepper meets, enforced by ``tests/test_shard.py``.
+
+Configurations the drain contract cannot cover (traced, fault-injected,
+sampled, or adaptive policies whose ``max_Q`` exceeds ``T``) fall back
+to the serial driver, surfacing the reason like
+``ParallelRunner.last_fallback_reason`` does; so does any mid-run worker
+failure (the run is a pure function of its configuration, so the parent
+simply rebuilds and reruns serially).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from ctypes import c_bool, c_double, c_int64
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.analysis.invariants import CausalitySanitizer, InvariantViolation
+from repro.core.cluster import ClusterSimulator, DeadlockError, RunResult
+from repro.core.quantum import QuantumStats
+from repro.core.stats import BucketTimeline, HostCostBreakdown
+from repro.engine.units import SimTime, format_time
+from repro.node.hostmodel import BUSY
+from repro.node.node import SimulatedNode
+from repro.node.transport import TransportStats
+from repro.shard.partition import partition_nodes, resolve_shards
+
+try:  # pragma: no cover - present on every supported CPython build
+    from multiprocessing.sharedctypes import RawArray
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    RawArray = None  # type: ignore[assignment]
+
+# Pipe protocol tags (parent -> worker commands, worker -> parent replies).
+_WINDOW = "window"
+_FINAL = "final"
+_REPORT = "report"
+_FINISH = "finish"
+_EXIT = "exit"
+_ERROR = "error"
+
+#: Seconds between liveness probes while waiting on a worker reply.
+_POLL_INTERVAL = 0.2
+
+
+class WorkerFailure(RuntimeError):
+    """A shard worker died or raised; the run falls back to serial."""
+
+
+@dataclass
+class ShardOutcome:
+    """What :func:`run_sharded` did and produced.
+
+    Attributes:
+        result: the finished run (bit-identical however it executed).
+        shards: worker processes actually used (1 = the serial path).
+        fallback_reason: why a requested sharded run degraded to serial
+            (None when sharding was not requested or succeeded),
+            mirroring ``ParallelRunner.last_fallback_reason``.
+        simulator: the simulator instance that produced ``result`` —
+            callers needing observers (trace collectors) read them here.
+    """
+
+    result: RunResult
+    shards: int
+    fallback_reason: Optional[str]
+    simulator: ClusterSimulator
+
+
+def _fork_available() -> bool:
+    """Fork start method support (workers inherit the built simulator —
+    node applications are live generators, which cannot be pickled)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _ineligible_reason(sim: ClusterSimulator) -> Optional[str]:
+    """Why *sim* must run serially (None when sharding is sound)."""
+    if sim.collector is not None:
+        return (
+            "traced runs keep the serial interleaved stepper "
+            "(tracing observes per-event order)"
+        )
+    if sim.injector is not None:
+        return (
+            "fault-injected runs keep the serial stepper (the injector "
+            "consumes its verdict stream at serial call sites)"
+        )
+    if sim.config.sampling is not None:
+        return "sampled host models keep the serial stepper"
+    min_latency = sim.controller.latency_model.min_latency()
+    if sim.policy.max_quantum > min_latency:
+        return (
+            f"policy max quantum {format_time(sim.policy.max_quantum)} exceeds "
+            f"the minimum network latency {format_time(min_latency)}; windows "
+            "are not independently drainable (Q <= T violated)"
+        )
+    if not _fork_available():
+        return "fork start method unavailable; ran serially"
+    if RawArray is None:
+        return "multiprocessing shared memory unavailable; ran serially"
+    return None
+
+
+def run_sharded(
+    sim_factory: Callable[[], ClusterSimulator],
+    shards: Optional[int] = None,
+) -> ShardOutcome:
+    """Run one simulation, sharded across worker processes when possible.
+
+    *sim_factory* must build a fresh, fully-wired simulator on every
+    call (runs are pure functions of their configuration, which is what
+    makes the serial retry after a mid-run worker failure sound).  The
+    shard count is *shards* when given, else the built simulator's
+    ``config.shards``, else ``REPRO_SHARDS`` (see
+    :func:`~repro.shard.partition.resolve_shards`); it never enters any
+    cache key because the result is bit-identical either way.
+    """
+    sim = sim_factory()
+    requested = resolve_shards(shards if shards is not None else sim.config.shards)
+    if requested <= 1:
+        return ShardOutcome(sim.run(), 1, None, sim)
+    reason = _ineligible_reason(sim)
+    if reason is not None:
+        return ShardOutcome(sim.run(), 1, reason, sim)
+    actual = min(requested, len(sim.nodes))
+    try:
+        result = _run_sharded_attempt(sim, actual)
+    except (InvariantViolation, DeadlockError):
+        raise  # real run outcomes, not infrastructure failures
+    except Exception as error:
+        fresh = sim_factory()
+        reason = (
+            f"sharded run failed ({type(error).__name__}: {error}); "
+            "re-ran serially"
+        )
+        return ShardOutcome(fresh.run(), 1, reason, fresh)
+    return ShardOutcome(result, actual, None, sim)
+
+
+# --------------------------------------------------------------------- #
+# Parent (mediator) side
+# --------------------------------------------------------------------- #
+
+
+class _BarrierState:
+    """The ``ClusterState`` the controller sees during a sharded run.
+
+    Only :meth:`quantum_window` is answerable from the parent — and only
+    it should ever be needed: every frame reaching the controller is due
+    at or beyond the barrier (the drain contract), which the controller
+    resolves without a position query.  A position query therefore means
+    the contract broke, and failing loudly beats a silently divergent
+    delivery race.
+    """
+
+    def __init__(self) -> None:
+        self.window: tuple[SimTime, SimTime] = (0, 0)
+
+    def quantum_window(self) -> tuple[SimTime, SimTime]:
+        return self.window
+
+    def node_position_at(self, node: int, host_time: float) -> SimTime:
+        raise RuntimeError(
+            "mid-window position query during a sharded run — a frame was "
+            "due before the barrier, breaking the Q <= min-latency contract"
+        )
+
+
+def _run_sharded_attempt(sim: ClusterSimulator, shards: int) -> RunResult:
+    """Fork the workers, drive the barrier loop, assemble the result."""
+    num_nodes = len(sim.nodes)
+    slices = partition_nodes(num_nodes, shards)
+    ctx = multiprocessing.get_context("fork")
+
+    raw_busy_rates = RawArray(c_double, num_nodes)
+    raw_idle_rates = RawArray(c_double, num_nodes)
+    raw_times = RawArray(c_int64, num_nodes)
+    raw_busy = RawArray(c_bool, num_nodes)
+    busy_rates: np.ndarray = np.frombuffer(raw_busy_rates, dtype=np.float64)
+    idle_rates: np.ndarray = np.frombuffer(raw_idle_rates, dtype=np.float64)
+    times_arr: np.ndarray = np.frombuffer(raw_times, dtype=np.int64)
+    busy_mask: np.ndarray = np.frombuffer(raw_busy, dtype=np.bool_)
+    busy_rates[:] = 1.0
+    idle_rates[:] = 1.0
+    for node_id, node in enumerate(sim.nodes):
+        t = node.peek_time()
+        times_arr[node_id] = -1 if t is None else t
+        busy_mask[node_id] = node.activity == BUSY
+
+    # The cluster-attached sanitizer audits parent node/clock state, which
+    # is stale the moment the workers fork; replace it with an unattached
+    # twin (same bounds) so every pure-number invariant — window clamps,
+    # delivery decisions, accounting, the ground-truth zero-straggler
+    # gate — still fires parent-side.  Workers audit their own slices.
+    checking = sim.sanitizer is not None
+    if checking:
+        fresh = CausalitySanitizer(
+            sim.policy.min_quantum,
+            sim.policy.max_quantum,
+            sim.controller.latency_model.min_latency(),
+        )
+        sim.sanitizer = fresh
+        sim.controller.sanitizer = fresh
+
+    procs: list[Any] = []
+    conns: list[Any] = []
+    try:
+        for span in slices:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    sim, span, child_conn,
+                    busy_rates, idle_rates, times_arr, busy_mask, checking,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        return _parent_loop(
+            sim, slices, procs, conns,
+            busy_rates, idle_rates, times_arr, busy_mask,
+        )
+    finally:
+        for conn in conns:
+            try:
+                conn.send((_EXIT,))
+            except OSError:
+                pass
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in conns:
+            conn.close()
+
+
+def _recv(procs: list[Any], conns: list[Any], index: int) -> tuple:
+    """One worker reply, translating shipped errors and dead workers."""
+    conn = conns[index]
+    while not conn.poll(_POLL_INTERVAL):
+        if not procs[index].is_alive():
+            raise WorkerFailure(f"shard worker {index} exited unexpectedly")
+    try:
+        reply = conn.recv()
+    except (EOFError, OSError) as error:
+        raise WorkerFailure(f"shard worker {index} hung up: {error}") from error
+    if reply[0] == _ERROR:
+        _, name, text, trace = reply
+        if name == "InvariantViolation":
+            # Re-raised under the parent's type so checked sharded runs
+            # fail exactly like checked serial runs (never masked by the
+            # serial-retry fallback).
+            raise InvariantViolation("shard-worker", text)
+        if name == "DeadlockError":
+            raise DeadlockError(text)
+        raise WorkerFailure(f"shard worker {index} failed: {name}: {text}\n{trace}")
+    return reply
+
+
+def _parent_loop(
+    sim: ClusterSimulator,
+    slices: list[range],
+    procs: list[Any],
+    conns: list[Any],
+    busy_rates: np.ndarray,
+    idle_rates: np.ndarray,
+    times_arr: np.ndarray,
+    busy_mask: np.ndarray,
+) -> RunResult:
+    """The serial driver's main loop, with windows executed by workers.
+
+    Every accounting statement mirrors ``ClusterSimulator.run`` exactly
+    (same expressions, same order — IEEE float semantics make reordering
+    an observable change); the only structural difference is *who* steps
+    the nodes inside a window.
+    """
+    config = sim.config
+    controller = sim.controller
+    policy = sim.policy
+    sanitizer = sim.sanitizer
+    perf = sim.perf
+    num_nodes = len(sim.nodes)
+    barrier_cost = config.barrier.overhead(num_nodes)
+    min_latency = controller.latency_model.min_latency()
+    feed = sim._feed
+    node_factors = sim._node_factors
+    busy_bases = sim._busy_bases
+    idle_bases = sim._idle_bases
+    num_shards = len(slices)
+
+    shard_of = [0] * num_nodes
+    for index, span in enumerate(slices):
+        for node_id in span:
+            shard_of[node_id] = index
+    quiescent = [
+        _slice_quiescent([sim.nodes[node_id] for node_id in span])
+        for span in slices
+    ]
+
+    state = _BarrierState()
+    controller.bind(state)
+
+    now: SimTime = 0
+    host: float = 0.0
+    completed = True
+    q_state = policy.initial()
+    quantum_stats = QuantumStats()
+    breakdown = HostCostBreakdown()
+    timeline = (
+        BucketTimeline(config.timeline_bucket)
+        if config.timeline_bucket is not None
+        else None
+    )
+
+    while not (controller.pending_count() == 0 and all(quiescent)):
+        if now >= config.sim_time_limit:
+            completed = False
+            break
+
+        horizon = controller.next_held_time()
+        for t in times_arr.tolist():
+            if t >= 0 and (horizon is None or t < horizon):
+                horizon = t
+        if horizon is None:
+            blocked: list[str] = []
+            for index in range(num_shards):
+                conns[index].send((_REPORT,))
+            for index in range(num_shards):
+                blocked.extend(_recv(procs, conns, index)[1])
+            raise DeadlockError(
+                f"deadlock at {format_time(now)}: no pending events or "
+                f"packets, but applications are still waiting "
+                f"(blocked: {', '.join(blocked) or 'none'})"
+            )
+
+        if config.fast_forward:
+            window = policy.window(q_state)
+            if horizon - now >= config.fast_forward_min_quanta * window:
+                now, host, q_state = _fast_forward(
+                    sim, now, host, q_state,
+                    min(horizon, config.sim_time_limit),
+                    barrier_cost, quantum_stats, breakdown, timeline,
+                    busy_mask,
+                )
+
+        # One event-by-event quantum, stepped remotely.
+        window = policy.window(q_state)
+        start, end = now, now + window
+        state.window = (start, end)
+        if sanitizer is not None:
+            sanitizer.on_quantum_start(start, end)
+        host_window_start = host
+
+        # Per-quantum slowdown draw, exactly _prepare_window_vec's plain
+        # path — the division happens parent-side, so workers read the
+        # identical doubles the serial reset would compute.
+        jitter = feed.row()
+        tmp = jitter * node_factors
+        busy = busy_bases * tmp
+        idle = idle_bases * tmp
+        busy_rates[:] = 1e9 / busy
+        idle_rates[:] = 1e9 / idle
+
+        deliveries: list[list[tuple[int, Any, SimTime]]] = [
+            [] for _ in range(num_shards)
+        ]
+        held = controller.next_held_time()
+        if held is not None and held < end:
+            for decision in controller.release_due(start, end):
+                dst = decision.packet.dst
+                deliveries[shard_of[dst]].append(
+                    (dst, decision.packet, decision.deliver_time)
+                )
+
+        for index in range(num_shards):
+            conns[index].send(
+                (_WINDOW, start, end, host_window_start, deliveries[index])
+            )
+        pending: list[tuple[float, int, int, Any]] = []
+        touched_ids: list[int] = []
+        touched_max = -float("inf")
+        handled = 0
+        for index in range(num_shards):
+            reply = _recv(procs, conns, index)
+            _, emissions, touched, shard_max, quiet, shard_handled = reply
+            pending.extend(emissions)
+            touched_ids.extend(touched)
+            if shard_max is not None and shard_max > touched_max:
+                touched_max = shard_max
+            quiescent[index] = quiet
+            handled += shard_handled
+
+        if pending:
+            if len(pending) > 1:
+                # (host time, node id, per-worker order): per-node order is
+                # preserved and cross-node ties resolve on node id, which is
+                # exactly the serial drain's sorted emission order; the
+                # order field never collides within a worker, so packets
+                # are never compared.
+                pending.sort()
+            controller.submit_held_batch(pending)
+
+        perf.events += handled
+        perf.event_quanta += 1
+        stepped = len(touched_ids)
+        perf.stepped_node_quanta += stepped
+        if stepped < num_nodes:
+            perf.skipped_node_quanta += num_nodes - stepped
+            perf.subset_windows += 1
+
+        np_count = controller.end_quantum()
+        if sanitizer is not None:
+            sanitizer.on_quantum_end(start, end, np_count)
+
+        if controller.pending_count() == 0 and all(quiescent):
+            # The run completed inside this quantum: truncate the final
+            # window at the last application finish, no closing barrier —
+            # the exact accounting of the serial final-window block.
+            for index in range(num_shards):
+                conns[index].send((_FINAL, start, end))
+            last: SimTime = start
+            max_finish_host = -float("inf")
+            for index in range(num_shards):
+                _, shard_last, shard_host = _recv(procs, conns, index)
+                if shard_last is not None and shard_last > last:
+                    last = shard_last
+                if shard_host > max_finish_host:
+                    max_finish_host = shard_host
+            node_cost = max_finish_host - host
+            host += node_cost
+            breakdown.add(node_cost, 0.0)
+            quantum_stats.record(window)
+            if timeline is not None and node_cost > 0:
+                timeline.add_span(start, max(last, start + 1), node_cost)
+            now = max(last, start + 1)
+            break
+
+        node_cost = _window_cost(
+            sim, start, end, host, stepped, touched_ids, touched_max,
+            busy_rates, idle_rates, busy_mask,
+        )
+        host += node_cost + barrier_cost
+        breakdown.add(node_cost, barrier_cost)
+        quantum_stats.record(window)
+        if timeline is not None:
+            timeline.add_span(start, end, node_cost + barrier_cost)
+        q_state = policy.next(q_state, np_count)
+        now = end
+
+    return _collect_result(
+        sim, slices, procs, conns, now, host, completed,
+        breakdown, quantum_stats, timeline,
+    )
+
+
+def _window_cost(
+    sim: ClusterSimulator,
+    start: SimTime,
+    end: SimTime,
+    host: float,
+    stepped: int,
+    touched_ids: list[int],
+    touched_max: float,
+    busy_rates: np.ndarray,
+    idle_rates: np.ndarray,
+    busy_mask: np.ndarray,
+) -> float:
+    """Max host finish over all nodes minus window start, sharded.
+
+    Event-free nodes are costed arithmetically over the shared rate
+    arrays with the serial ``_window_cost_vec`` expression; stepped
+    nodes were costed by their owning worker (``clock.host_of(end)``),
+    whose per-shard maxima combine by float ``max`` — order- and
+    grouping-insensitive, hence bit-identical to the serial reduction.
+    """
+    if stepped == len(sim.nodes):
+        return touched_max - host
+    span = end - start
+    rates = np.where(busy_mask, busy_rates, idle_rates)
+    finishes = host + span / rates
+    if touched_ids:
+        finishes[touched_ids] = -np.inf
+        best = float(finishes.max())
+        if touched_max > best:
+            best = touched_max
+    else:
+        best = float(finishes.max())
+    return best - host
+
+
+def _fast_forward(
+    sim: ClusterSimulator,
+    now: SimTime,
+    host: float,
+    q_state: float,
+    horizon: SimTime,
+    barrier_cost: float,
+    quantum_stats: QuantumStats,
+    breakdown: HostCostBreakdown,
+    timeline: Optional[BucketTimeline],
+    busy_mask: np.ndarray,
+) -> tuple[SimTime, float, float]:
+    """``_fast_forward_vec``'s plain branch, run entirely in the parent.
+
+    Eligible runs carry no sampling schedule and no fault plan, so the
+    homogeneous branch always applies.  The parent owns every host
+    model's jitter stream (workers never draw), so consuming the feed
+    here keeps stream positions identical to a serial run; the workers'
+    clocks are simply re-anchored by the next window's shared rates.
+    """
+    controller = sim.controller
+    policy = sim.policy
+    sanitizer = sim.sanitizer
+    perf = sim.perf
+    feed = sim._feed
+    coeff_bases = (sim._busy_bases, sim._idle_bases)
+    while True:
+        lengths, next_state = policy.idle_chunk(
+            q_state, horizon - now, sim.config.chunk
+        )
+        count = len(lengths)
+        if count == 0:
+            return now, host, q_state
+        jitter = feed.rows(count)
+        coeff = (
+            np.where(busy_mask, coeff_bases[0], coeff_bases[1])
+            * sim._node_factors
+        )
+        max_slow = jitter[0] * coeff[0]
+        for node_id in range(1, len(coeff)):
+            np.maximum(max_slow, jitter[node_id] * coeff[node_id], out=max_slow)
+        node_cost = float((lengths * max_slow).sum()) / 1e9
+        span = int(lengths.sum())
+        barrier_total = barrier_cost * count
+        host += node_cost + barrier_total
+        breakdown.add(node_cost, barrier_total)
+        quantum_stats.record_lengths(lengths)
+        controller.note_idle_quanta(count)
+        if sanitizer is not None:
+            sanitizer.on_fast_forward(
+                now, span, count, horizon, controller.next_held_time()
+            )
+        if timeline is not None:
+            timeline.add_span(now, now + span, node_cost + barrier_total)
+        perf.ff_spans += 1
+        perf.ff_quanta += count
+        now += span
+        q_state = next_state
+
+
+def _collect_result(
+    sim: ClusterSimulator,
+    slices: list[range],
+    procs: list[Any],
+    conns: list[Any],
+    now: SimTime,
+    host: float,
+    completed: bool,
+    breakdown: HostCostBreakdown,
+    quantum_stats: QuantumStats,
+    timeline: Optional[BucketTimeline],
+) -> RunResult:
+    """Gather per-node terminal state from the workers and assemble."""
+    node_stats = []
+    app_results = []
+    app_finish_times = []
+    transports: list[Optional[TransportStats]] = []
+    any_recovery = False
+    for index in range(len(slices)):
+        conns[index].send((_FINISH,))
+    for index in range(len(slices)):
+        reply = _recv(procs, conns, index)
+        _, stats, results, finishes, shard_transports, recovery = reply
+        node_stats.extend(stats)
+        app_results.extend(results)
+        app_finish_times.extend(finishes)
+        transports.extend(shard_transports)
+        any_recovery = any_recovery or recovery
+    transport_stats: Optional[list[TransportStats]] = None
+    if any_recovery:
+        transport_stats = [
+            stats if stats is not None else TransportStats()
+            for stats in transports
+        ]
+    result = RunResult(
+        sim_time=now,
+        host_time=host,
+        completed=completed,
+        breakdown=breakdown,
+        quantum_stats=quantum_stats,
+        controller_stats=sim.controller.stats,
+        node_stats=node_stats,
+        app_results=app_results,
+        app_finish_times=app_finish_times,
+        timeline=timeline,
+        fault_stats=None,
+        transport_stats=transport_stats,
+    )
+    if sim.sanitizer is not None:
+        sim.sanitizer.on_run_end(result)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+def _slice_quiescent(nodes: list[SimulatedNode]) -> bool:
+    """The shard-local half of ``ClusterSimulator._done``."""
+    for node in nodes:
+        if not node.finished or node.peek_time() is not None:
+            return False
+        transport = node.transport
+        if transport is not None and (
+            transport.queued_frames() > 0 or transport.unacked_frames() > 0
+        ):
+            return False
+    return True
+
+
+def _shard_worker(
+    sim: ClusterSimulator,
+    span: range,
+    conn: Any,
+    busy_rates: np.ndarray,
+    idle_rates: np.ndarray,
+    times_arr: np.ndarray,
+    busy_mask: np.ndarray,
+    checking: bool,
+) -> None:
+    """One worker: owns nodes ``span`` of the forked simulator.
+
+    The fork hands the worker the complete built simulator — live
+    application generators, queues, clocks, transports — and it steps
+    only its slice.  Per window it applies the parent's cross-shard
+    deliveries, materializes clocks from the shared rate arrays (the
+    inlined ``_materialize`` reset, value-identical to serial), drains
+    each active node, and returns the emission batch with absolute host
+    timestamps; next-event times and the busy mask go back through the
+    shared arrays.  Emitted frames keep their per-worker emission order,
+    which is all the parent's merge sort needs (cross-node ties resolve
+    on node id before the order field is ever consulted).
+    """
+    try:
+        nodes = sim.nodes
+        clocks = sim._clocks
+        my_nodes = [nodes[node_id] for node_id in span]
+        times: list[Optional[SimTime]] = [node.peek_time() for node in my_nodes]
+        epoch = 0
+        epochs = [0] * len(my_nodes)
+        low = span.start
+        window: tuple[SimTime, SimTime] = (0, 0)
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == _WINDOW:
+                _, start, end, host_start, deliveries = command
+                epoch += 1
+                window = (start, end)
+                sim._window = window
+                sim._host_window_start = host_start
+                for dst, packet, deliver_time in deliveries:
+                    if checking and not (
+                        span.start <= dst < span.stop
+                        and start <= deliver_time <= end
+                    ):
+                        raise InvariantViolation(
+                            "shard-handoff",
+                            f"delivery for node {dst} at "
+                            f"{format_time(deliver_time)} does not belong to "
+                            f"shard nodes [{span.start}, {span.stop}) in "
+                            f"window [{format_time(start)}, {format_time(end)})",
+                            node=dst,
+                            sim_time=deliver_time,
+                        )
+                    nodes[dst].deliver(packet, deliver_time)
+                    times[dst - low] = nodes[dst].peek_time()
+                pending: list[tuple[float, int, int, Any]] = []
+                touched: list[int] = []
+                handled = 0
+                sim._drain_pending = pending
+                sim._in_window = True
+                for local, node_id in enumerate(span):
+                    event_time = times[local]
+                    if event_time is None or event_time >= end:
+                        continue
+                    node = nodes[node_id]
+                    if epochs[local] != epoch:
+                        # Inlined ClusterSimulator._materialize: the same
+                        # reset, with the rate division already done
+                        # parent-side in bulk.
+                        epochs[local] = epoch
+                        touched.append(node_id)
+                        clock = clocks[node_id]
+                        clock.busy_rate = busy_rate = float(busy_rates[node_id])
+                        clock.idle_rate = idle_rate = float(idle_rates[node_id])
+                        clock.seg_sim = start
+                        clock.seg_host = host_start
+                        clock.seg_rate = (
+                            busy_rate if node.activity == BUSY else idle_rate
+                        )
+                    count, next_time = node.drain_window(end)
+                    handled += count
+                    times[local] = next_time
+                sim._in_window = False
+                sim._drain_pending = None
+                for local, node_id in enumerate(span):
+                    t = times[local]
+                    times_arr[node_id] = -1 if t is None else t
+                    busy_mask[node_id] = nodes[node_id].activity == BUSY
+                shard_max: Optional[float] = None
+                for node_id in touched:
+                    finish = clocks[node_id].host_of(end)
+                    if shard_max is None or finish > shard_max:
+                        shard_max = finish
+                if checking:
+                    _audit_slice(sim, span, epoch, epochs, window,
+                                 busy_rates, idle_rates)
+                conn.send((
+                    _WINDOW, pending, touched,
+                    float(shard_max) if shard_max is not None else None,
+                    _slice_quiescent(my_nodes), handled,
+                ))
+            elif op == _FINAL:
+                _, start, end = command
+                _materialize_slice(
+                    sim, span, epoch, epochs, window, busy_rates, idle_rates
+                )
+                shard_last: Optional[SimTime] = None
+                finish_host = -float("inf")
+                for node_id in span:
+                    node = nodes[node_id]
+                    finish_time = node.app_finish_time
+                    if finish_time is not None:
+                        clamped = min(max(finish_time, start), end)
+                        if shard_last is None or clamped > shard_last:
+                            shard_last = clamped
+                    anchor = node.app_finish_time or start
+                    finish = clocks[node_id].host_of(
+                        min(max(anchor, start), end)
+                    )
+                    if finish > finish_host:
+                        finish_host = finish
+                conn.send((_FINAL, shard_last, float(finish_host)))
+            elif op == _REPORT:
+                conn.send((
+                    _REPORT,
+                    [node.name for node in my_nodes if node.blocked],
+                ))
+            elif op == _FINISH:
+                transports = [
+                    node.transport.stats if node.transport is not None else None
+                    for node in my_nodes
+                ]
+                recovery = any(
+                    node.transport is not None
+                    and node.transport.recovery is not None
+                    for node in my_nodes
+                )
+                conn.send((
+                    _FINISH,
+                    [node.stats for node in my_nodes],
+                    [node.app_result for node in my_nodes],
+                    [node.app_finish_time for node in my_nodes],
+                    transports,
+                    recovery,
+                ))
+            else:  # _EXIT (or anything unknown): leave quietly
+                break
+    except Exception as error:  # ship the failure; the parent decides
+        try:
+            conn.send((
+                _ERROR, type(error).__name__, str(error),
+                traceback.format_exc(),
+            ))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+def _materialize_slice(
+    sim: ClusterSimulator,
+    span: range,
+    epoch: int,
+    epochs: list[int],
+    window: tuple[SimTime, SimTime],
+    busy_rates: np.ndarray,
+    idle_rates: np.ndarray,
+) -> None:
+    """Give every not-yet-stepped node of the slice its window clock
+    (the worker half of ``_materialize_all``, value-identical)."""
+    nodes = sim.nodes
+    clocks = sim._clocks
+    start = window[0]
+    host_start = sim._host_window_start
+    for local, node_id in enumerate(span):
+        if epochs[local] == epoch:
+            continue
+        epochs[local] = epoch
+        node = nodes[node_id]
+        clock = clocks[node_id]
+        clock.busy_rate = busy_rate = float(busy_rates[node_id])
+        clock.idle_rate = idle_rate = float(idle_rates[node_id])
+        clock.seg_sim = start
+        clock.seg_host = host_start
+        clock.seg_rate = busy_rate if node.activity == BUSY else idle_rate
+
+
+def _audit_slice(
+    sim: ClusterSimulator,
+    span: range,
+    epoch: int,
+    epochs: list[int],
+    window: tuple[SimTime, SimTime],
+    busy_rates: np.ndarray,
+    idle_rates: np.ndarray,
+) -> None:
+    """Per-shard barrier audit: the slice-local checks the attached
+    sanitizer's ``on_quantum_end`` would run against the whole cluster
+    (leftover events behind the barrier, clock anchors inside the
+    window); the parent's unattached sanitizer covers everything else.
+    """
+    start, end = window
+    _materialize_slice(sim, span, epoch, epochs, window, busy_rates, idle_rates)
+    for node_id in span:
+        pending = sim.nodes[node_id].peek_time()
+        if pending is not None and pending < end:
+            raise InvariantViolation(
+                "unprocessed-event",
+                f"event at {format_time(pending)} left behind the barrier "
+                f"at {format_time(end)}",
+                node=node_id,
+                sim_time=pending,
+            )
+        seg_sim = sim._clocks[node_id].seg_sim
+        if not start <= seg_sim <= end:
+            raise InvariantViolation(
+                "clock-regression",
+                f"clock segment anchored at {format_time(seg_sim)} outside "
+                f"its window [{format_time(start)}, {format_time(end)}]",
+                node=node_id,
+                sim_time=seg_sim,
+            )
+
+
+__all__ = [
+    "ShardOutcome",
+    "WorkerFailure",
+    "run_sharded",
+]

@@ -1,0 +1,67 @@
+"""Deterministic node partitioning for sharded single-run execution.
+
+The partitioner maps the nodes of one cluster onto worker processes the
+way the paper maps them onto farm blades: contiguous, balanced slices.
+Contiguity matters for more than cache locality — the parent reassembles
+per-node result lists (stats, app results, finish times) by concatenating
+the shard slices in shard order, which is only correct because slice
+``k`` covers exactly the node ids between slice ``k-1`` and slice
+``k+1``.  The assignment is pure integer arithmetic: no dict or set
+iteration, no hashing, no randomness — the same ``(num_nodes, shards)``
+pair always yields the same partition, on every host and every run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable consulted when no explicit shard count is given
+#: (``ClusterConfig.shards=None`` and no CLI ``--shards``): a positive
+#: integer pins the count; unset or unparsable means 1 (serial).
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def resolve_shards(explicit: Optional[int] = None) -> int:
+    """Shard count after applying the ``REPRO_SHARDS`` override.
+
+    An explicit setting always wins; ``None`` defers to the environment,
+    mirroring how ``ClusterConfig.check`` defers to ``REPRO_CHECK`` and
+    ``ParallelRunner`` workers defer to ``REPRO_PARALLEL``.  Unset (or
+    unparsable) environment means 1 — the serial path.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError(f"shard count must be positive, got {explicit}")
+        return explicit
+    env = os.environ.get(SHARDS_ENV)
+    if env is not None:
+        value = env.strip()
+        if value.isdigit() and int(value) >= 1:
+            return int(value)
+    return 1
+
+
+def partition_nodes(num_nodes: int, shards: int) -> list[range]:
+    """Split node ids ``0..num_nodes-1`` into contiguous balanced slices.
+
+    Returns one ``range`` per shard, in shard order; concatenating them
+    reproduces ``range(num_nodes)`` exactly, and every node id appears in
+    exactly one slice.  The first ``num_nodes % shards`` shards take one
+    extra node, so slice sizes differ by at most one.  A shard count
+    above ``num_nodes`` is clamped (a worker with zero nodes would only
+    add barrier latency).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"cannot partition {num_nodes} nodes")
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    shards = min(shards, num_nodes)
+    base, extra = divmod(num_nodes, shards)
+    slices: list[range] = []
+    low = 0
+    for index in range(shards):
+        high = low + base + (1 if index < extra else 0)
+        slices.append(range(low, high))
+        low = high
+    return slices
