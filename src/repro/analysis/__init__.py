@@ -10,12 +10,19 @@ meaningful if causality is never violated by accident.  Synchronization
 bugs in a PDES core surface as *silent* timing skew, not crashes — the
 class of defect ordinary tests miss.  This package attacks it twice:
 
-* :mod:`repro.analysis.simlint` — an AST-based lint (stdlib ``ast``, no
-  dependencies) with PDES-specific rules SIM001–SIM006: wall-clock access
-  in the sim core, unseeded randomness outside the engine RNG,
-  iteration-order hazards, float/``SimTime`` mixing, mutable default
-  arguments, and broad exception handlers.  Run it as
-  ``python -m repro.analysis.simlint src tests``.
+* :mod:`repro.analysis.simlint` — a whole-program static analyzer
+  (stdlib ``ast``, no dependencies).  v1's per-file rules SIM001–SIM006
+  (wall-clock access in the sim core, unseeded randomness outside the
+  engine RNG, iteration-order hazards, float/``SimTime`` mixing, mutable
+  default arguments, broad exception handlers) are joined in v2 by an
+  inter-procedural determinism dataflow (SIM010–SIM014: taint sources
+  traced through call chains into event scheduling, ``RunResult``,
+  trace-event payloads, and the disk-cache key) and a shard-safety pass
+  (SIM020–SIM023: shared-memory ownership, pipe-tag pairing, fork-unsafe
+  sync primitives, parent-only accounting).  A content-hash project
+  index under ``.repro_cache/simlint/`` makes warm whole-tree runs
+  near-instant, and findings export as SARIF 2.1.0 for GitHub code
+  scanning.  Run it as ``python -m repro.analysis.simlint src tests``.
 
 * :mod:`repro.analysis.invariants` — a runtime causality sanitizer that
   hooks the cluster driver and the network controller when

@@ -87,8 +87,15 @@ def write_baseline(path: Path, findings: Iterable[Finding], comment: str) -> int
 
     Every generated entry carries *comment* — callers should hand-edit the
     file afterwards to justify each suppression individually.
+
+    Entries are written sorted by (rule, path, fingerprint) — independent
+    of finding discovery order — so regenerated baselines diff cleanly
+    and two consecutive writes are byte-identical.
     """
     pairs = fingerprint_findings(findings)
+    entries = sorted(
+        {(f.rule, f.path, digest) for f, digest in pairs}
+    )
     lines = [
         "# simlint baseline — each entry suppresses exactly one acknowledged",
         "# finding; keep a justification on every line.  Regenerate with",
@@ -96,11 +103,11 @@ def write_baseline(path: Path, findings: Iterable[Finding], comment: str) -> int
         "",
     ]
     lines += [
-        BaselineEntry(f.rule, f.path, digest, comment).render()
-        for f, digest in pairs
+        BaselineEntry(rule, file_path, digest, comment).render()
+        for rule, file_path, digest in entries
     ]
     path.write_text("\n".join(lines) + "\n")
-    return len(pairs)
+    return len(entries)
 
 
 def apply_baseline(

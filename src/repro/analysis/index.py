@@ -1,0 +1,219 @@
+"""The simlint project index: parse each file once, cache by content hash.
+
+One :class:`IndexedFile` per source file carries everything the v2
+analyzer needs downstream:
+
+* the legacy per-file findings (rules SIM000-SIM006),
+* the JSON taint summary consumed by the whole-program dataflow pass
+  (:mod:`repro.analysis.dataflow`),
+* the split source lines (for snippets; never cached — re-read is the
+  price of hashing anyway).
+
+Findings and summaries are cached under ``.repro_cache/simlint/`` keyed
+by a hash of (index version, Python version, display path, file bytes),
+so a warm whole-tree run parses nothing and is near-instant.  Corrupt
+cache entries are quarantined to ``<entry>.corrupt`` and recomputed,
+mirroring ``DiskResultCache``'s handling; undecodable *source* files
+become a SIM000 finding instead of a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.analysis import dataflow
+from repro.analysis.rules import Finding, lint_source
+
+#: Bump to invalidate every cached entry (rule or summary schema change).
+INDEX_VERSION = 2
+
+#: Cache subdirectory, under the same root ``DiskResultCache`` uses.
+DEFAULT_CACHE_SUBDIR = "simlint"
+
+
+def default_cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+    return Path(root) / DEFAULT_CACHE_SUBDIR
+
+
+@dataclass
+class IndexedFile:
+    """Everything the analyzer knows about one source file."""
+
+    path: str  # display (repo-relative posix) path
+    findings: list[Finding] = field(default_factory=list)
+    summary: Optional[dict[str, Any]] = None  # None when the file won't parse
+    lines: list[str] = field(default_factory=list)
+    from_cache: bool = False
+
+
+def _finding_to_json(finding: Finding) -> dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+        "chain": [list(step) for step in finding.chain],
+    }
+
+
+def _finding_from_json(blob: dict[str, Any]) -> Finding:
+    return Finding(
+        rule=blob["rule"],
+        path=blob["path"],
+        line=blob["line"],
+        col=blob["col"],
+        message=blob["message"],
+        snippet=blob["snippet"],
+        chain=tuple(tuple(step) for step in blob.get("chain", [])),
+    )
+
+
+class FileCache:
+    """Content-hash-keyed per-file cache of (findings, summary)."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def key_of(self, display_path: str, content: bytes) -> str:
+        import sys
+
+        digest = hashlib.sha256()
+        digest.update(f"simlint/{INDEX_VERSION}".encode())
+        digest.update(b"\0")
+        digest.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
+        digest.update(b"\0")
+        digest.update(display_path.encode())
+        digest.update(b"\0")
+        digest.update(content)
+        return digest.hexdigest()[:32]
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        entry = self._entry_path(key)
+        try:
+            text = entry.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            blob = json.loads(text)
+            if blob.get("version") != INDEX_VERSION:
+                raise ValueError("version mismatch")
+            blob["findings"]  # noqa: B018 - presence check
+            blob["summary"]
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(entry)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return blob
+
+    def put(self, key: str, findings: list[Finding], summary: Optional[dict]) -> None:
+        entry = self._entry_path(key)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            blob = {
+                "version": INDEX_VERSION,
+                "findings": [_finding_to_json(f) for f in findings],
+                "summary": summary,
+            }
+            tmp = entry.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(blob, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, entry)
+        except OSError:
+            return  # a read-only cache dir must never fail the lint
+
+    @staticmethod
+    def _quarantine(entry: Path) -> None:
+        """Move a corrupt entry aside (as DiskResultCache does) and move on."""
+        try:
+            os.replace(entry, entry.with_suffix(entry.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+
+def index_source(source: str, display_path: str) -> tuple[list[Finding], Optional[dict]]:
+    """Legacy findings + dataflow summary for one decoded source text."""
+    import ast
+
+    findings = lint_source(source, display_path)
+    summary: Optional[dict] = None
+    if not any(f.rule == "SIM000" for f in findings):
+        tree = ast.parse(source, filename=display_path)
+        summary = dataflow.summarize_module(tree, display_path)
+    return findings, summary
+
+
+def index_file(
+    file: Path, display_path: str, cache: Optional[FileCache]
+) -> IndexedFile:
+    """Index one file, via the content-hash cache when possible."""
+    content = file.read_bytes()
+    try:
+        source = content.decode("utf-8")
+    except UnicodeDecodeError as err:
+        # Quarantine, don't crash: an undecodable file becomes a finding.
+        finding = Finding(
+            rule="SIM000",
+            path=display_path,
+            line=1,
+            col=0,
+            message=f"file is not valid UTF-8 ({err.reason} at byte {err.start}); "
+            "quarantined from analysis",
+            snippet="",
+        )
+        return IndexedFile(path=display_path, findings=[finding])
+
+    lines = source.splitlines()
+    if cache is not None:
+        key = cache.key_of(display_path, content)
+        blob = cache.get(key)
+        if blob is not None:
+            return IndexedFile(
+                path=display_path,
+                findings=[_finding_from_json(f) for f in blob["findings"]],
+                summary=blob["summary"],
+                lines=lines,
+                from_cache=True,
+            )
+    findings, summary = index_source(source, display_path)
+    if cache is not None:
+        cache.put(key, findings, summary)
+    return IndexedFile(
+        path=display_path, findings=findings, summary=summary, lines=lines
+    )
+
+
+def build_index(
+    files: Sequence[tuple[Path, str]],
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> tuple[list[IndexedFile], Optional[FileCache]]:
+    """Index every (file, display_path) pair; returns (index, cache)."""
+    cache = FileCache(cache_dir or default_cache_dir()) if use_cache else None
+    indexed = [index_file(file, display, cache) for file, display in files]
+    return indexed, cache
+
+
+__all__ = [
+    "DEFAULT_CACHE_SUBDIR",
+    "INDEX_VERSION",
+    "FileCache",
+    "IndexedFile",
+    "build_index",
+    "default_cache_dir",
+    "index_file",
+    "index_source",
+]

@@ -33,10 +33,17 @@ SIM006  Bare or broad ``except`` in the sim core that swallows the
 ======= ================================================================
 
 Rules are *zone-scoped*: a file's zone is derived from its path
-(``sim-core`` for ``repro/{engine,core,network,node,mpi,workloads,faults}``,
-``harness``, ``tests``, ``benchmarks``, ``examples``, ``other``), so the
-same invocation can lint the whole tree while holding only the sim core
-to the strictest contract.
+(``sim-core`` for ``repro/{engine,core,network,node,mpi,workloads,faults,
+obs,shard}``, ``harness``, ``analysis``, ``tests``, ``benchmarks``,
+``examples``, ``other``), so the same invocation can lint the whole tree
+while holding only the sim core to the strictest contract.
+
+The per-file rules above are v1.  simlint v2 adds whole-program passes —
+the inter-procedural determinism dataflow (SIM010-SIM014, see
+:mod:`repro.analysis.dataflow`) and the shard-safety pass (SIM020-SIM023,
+see :mod:`repro.analysis.shardrules`) — orchestrated by the project index
+(:mod:`repro.analysis.index`).  ``RULES`` and ``RULE_DOCS`` below cover
+all of them.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from typing import Iterable, Optional, Union
 
 #: Packages under ``repro`` that form the deterministic simulation core.
 SIM_CORE_PACKAGES = frozenset(
-    {"engine", "core", "network", "node", "mpi", "workloads", "faults", "obs"}
+    {"engine", "core", "network", "node", "mpi", "workloads", "faults", "obs", "shard"}
 )
 
 #: One-line description per rule, keyed by code.
@@ -60,6 +67,134 @@ RULES: dict[str, str] = {
     "SIM004": "float literal mixed into SimTime arithmetic outside engine/units.py",
     "SIM005": "mutable default argument (shared across calls and across runs)",
     "SIM006": "bare/broad except swallowing errors in the sim core",
+    "SIM010": "nondeterministic value reaches event scheduling (whole-program taint)",
+    "SIM011": "nondeterministic value reaches a RunResult field (whole-program taint)",
+    "SIM012": "nondeterministic value reaches a trace-event payload (whole-program taint)",
+    "SIM013": "nondeterministic value reaches the disk-cache key (cache-key purity)",
+    "SIM014": "sim-core function transitively reaches wall-clock/ambient host state",
+    "SIM020": "shared-memory array written by the non-owning side of the barrier protocol",
+    "SIM021": "unpaired pipe-protocol tag between shard parent and worker",
+    "SIM022": "thread/lock/pool state created in fork-inherited simulation objects",
+    "SIM023": "parent-only accounting state mutated in worker-executed code",
+}
+
+#: Extended documentation per rule, rendered by ``simlint --explain RULE``.
+#: Each entry states the invariant the rule protects and how to fix a hit.
+RULE_DOCS: dict[str, str] = {
+    "SIM000": (
+        "The file failed to parse, so no other rule could inspect it.  A\n"
+        "syntax error must never *hide* findings, so it is itself reported\n"
+        "as a finding.  Fix: make the file parse."
+    ),
+    "SIM001": (
+        "Invariant: simulated time is a model output, never an input.  A\n"
+        "wall-clock read (time.time, perf_counter, datetime.now, ...) inside\n"
+        "the sim core makes results depend on host speed and breaks\n"
+        "bit-identical replay.  Fix: time things in the harness/benchmarks\n"
+        "only; inside the model, use the simulator clock."
+    ),
+    "SIM002": (
+        "Invariant: every random draw is attributable to a named, seeded\n"
+        "stream.  Module-level random.*/np.random.* draws, default_rng()\n"
+        "without a seed, seedless random.Random(), and direct\n"
+        "numpy.random.Generator/RandomState construction outside\n"
+        "engine/rng.py all create entropy- or convention-seeded state the\n"
+        "replay cannot reproduce or audit.  Fix: route draws through\n"
+        "repro.engine.rng.RngStreams."
+    ),
+    "SIM003": (
+        "Invariant: schedule order never depends on PYTHONHASHSEED.  Set\n"
+        "iteration order (and dict views fed into event insertion) varies\n"
+        "across processes for str keys, so two bit-identical configurations\n"
+        "can produce different event orders.  Fix: iterate sorted(...) or\n"
+        "an explicitly ordered list."
+    ),
+    "SIM004": (
+        "Invariant: SimTime is exact integer nanoseconds (the ground-truth\n"
+        "determinism argument relies on it).  Mixing a float literal into\n"
+        "SimTime arithmetic silently reintroduces rounding.  Fix: quantize\n"
+        "explicitly via round()/int() or the engine.units helpers."
+    ),
+    "SIM005": (
+        "Invariant: no state leaks between runs.  A mutable default\n"
+        "argument is shared across calls *and across configurations* (the\n"
+        "FarmBarrierModel.layout bug of PR 1).  Fix: default to None and\n"
+        "construct inside, or use field(default_factory=...)."
+    ),
+    "SIM006": (
+        "Invariant: errors in the sim core are loud.  A bare/broad except\n"
+        "that does not re-raise turns a typo'd attribute into silent timing\n"
+        "skew.  Fix: catch the specific exception, or wrap-and-raise."
+    ),
+    "SIM010": (
+        "Invariant: the event schedule is a pure function of the\n"
+        "configuration.  The whole-program dataflow pass traced a taint\n"
+        "source (wall clock, unseeded RNG, os.environ, hash()/id(), set\n"
+        "iteration order) through the call graph into an event-scheduling\n"
+        "call (schedule/push/submit/deliver/...).  The finding's chain\n"
+        "shows every hop from source to sink.  Fix: derive the scheduled\n"
+        "time/payload from config or simulated state instead."
+    ),
+    "SIM011": (
+        "Invariant: RunResult is bit-identical across replays.  A taint\n"
+        "source flows into a RunResult field, so the run's observable\n"
+        "output would differ between identical configurations.  Fix: keep\n"
+        "host-dependent measurements out of RunResult's simulated fields."
+    ),
+    "SIM012": (
+        "Invariant: traced runs are bit-identical to untraced runs and to\n"
+        "each other.  A taint source flows into a trace-event payload\n"
+        "(repro.obs.events.*), so traces would not diff cleanly against\n"
+        "ground truth.  Fix: stamp events with simulated quantities only."
+    ),
+    "SIM013": (
+        "Invariant: cache-key purity.  Everything entering the disk-cache\n"
+        "key (RunnerSettings.key_fragment / RunSpec.key_payload /\n"
+        "DiskResultCache.key_of) must derive from hashable configuration\n"
+        "fields.  A wall-clock or ambient value laundered into the key\n"
+        "silently forks the cache: identical configs stop sharing entries,\n"
+        "and stale results can be served as fresh.  Fix: remove the\n"
+        "ambient value from the key payload."
+    ),
+    "SIM014": (
+        "Invariant: the sim core cannot even *reach* ambient host state.\n"
+        "This function reads — or transitively calls something that\n"
+        "reads — os.environ / cpu_count / pids / hostnames / the wall\n"
+        "clock.  Unlike SIM001 this is whole-program: the read may be\n"
+        "buried N calls deep.  Fix: resolve ambient inputs in the harness\n"
+        "and pass them in as explicit configuration."
+    ),
+    "SIM020": (
+        "Invariant: each shared-memory RawArray slot has exactly one\n"
+        "writer side per barrier phase (the shard driver's ownership\n"
+        "table, repro.shard.driver.SHM_OWNERS).  A write from the\n"
+        "non-owning side races the barrier protocol and desynchronizes\n"
+        "shards.  Fix: only the owner side writes; the other side reads\n"
+        "after the barrier."
+    ),
+    "SIM021": (
+        "Invariant: every pipe-protocol tag sent by one side of the shard\n"
+        "barrier is handled by the other.  An unpaired tag deadlocks the\n"
+        "per-quantum barrier or silently drops a protocol state.  Fix:\n"
+        "add the matching compare (or catch-all) on the receiving side,\n"
+        "or remove the dead tag."
+    ),
+    "SIM022": (
+        "Invariant: fork-inherited simulation objects carry no live\n"
+        "thread/lock/pool state.  Threads do not survive fork; an\n"
+        "inherited locked lock deadlocks the child.  The shard driver\n"
+        "forks workers that inherit the built simulator, so sim-core\n"
+        "classes must not construct threading/queue/pool primitives.\n"
+        "Fix: create such state after the fork, in the owning process."
+    ),
+    "SIM023": (
+        "Invariant: parent-only accounting (perf counters, quantum stats,\n"
+        "timelines) is mutated only by the parent, which replicates the\n"
+        "serial run() accounting expression-for-expression.  A worker-side\n"
+        "mutation would be lost at join *or* double-counted, either way\n"
+        "breaking bit-identity with the serial driver.  Fix: ship raw\n"
+        "values over the pipe and let the parent account."
+    ),
 }
 
 _WALL_CLOCK_CALLS = frozenset(
@@ -130,7 +265,11 @@ _SIMTIME_NAMES = frozenset(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Whole-program (dataflow/shard) findings additionally carry *chain*:
+    the source -> sink call chain as ``(path, line, note)`` steps.
+    """
 
     rule: str
     path: str
@@ -138,6 +277,7 @@ class Finding:
     col: int
     message: str
     snippet: str
+    chain: tuple = ()
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
@@ -340,6 +480,13 @@ class _Visitor(ast.NodeVisitor):
                     f"{resolved}() draws from hidden global state; use a named "
                     "RngStreams stream",
                 )
+            elif attr == "Random" and not node.args and not node.keywords:
+                self._report(
+                    "SIM002",
+                    node,
+                    "random.Random() without a seed is entropy-seeded; pass an "
+                    "explicit seed or use a named RngStreams stream",
+                )
             return
         for prefix in ("numpy.random.", "np.random."):
             if resolved.startswith(prefix):
@@ -350,6 +497,14 @@ class _Visitor(ast.NodeVisitor):
                         node,
                         "default_rng() without a seed is entropy-seeded; pass an "
                         "explicit seed or use RngStreams",
+                    )
+                elif attr in ("Generator", "RandomState"):
+                    self._report(
+                        "SIM002",
+                        node,
+                        f"direct numpy.random.{attr}(...) construction outside "
+                        "engine/rng.py; obtain generators from the named, seeded "
+                        "streams of RngStreams",
                     )
                 elif attr not in _NUMPY_RANDOM_CONSTRUCTORS:
                     self._report(

@@ -1,0 +1,161 @@
+"""SARIF 2.1.0 exporter for simlint findings.
+
+GitHub code scanning ingests SARIF (``upload-sarif``) and renders each
+result as an inline annotation on the PR diff.  The export is fully
+deterministic — no timestamps, rules sorted by code, results in finding
+sort order — so two runs over the same tree produce byte-identical
+files (the same property the baseline writer guarantees).
+
+Mapping choices:
+
+* every rule in :data:`repro.analysis.rules.RULES` is emitted (stable
+  ``ruleIndex`` regardless of which rules fired), with ``RULE_DOCS`` as
+  the long help;
+* findings suppressed by the checked-in baseline are still exported,
+  carrying a ``suppressions`` entry (GitHub shows them as closed);
+* whole-program findings attach their source -> sink call chain as a
+  ``codeFlows`` thread flow, one location per hop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.analysis.baseline import BaselineEntry, fingerprint_findings
+from repro.analysis.rules import RULE_DOCS, RULES, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Name of the partial-fingerprint slot carrying the baseline fingerprint.
+FINGERPRINT_KEY = "simlint/v1"
+
+
+def _rule_objects() -> list[dict]:
+    rules = []
+    for code in sorted(RULES):
+        rules.append(
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": RULES[code]},
+                "fullDescription": {"text": RULES[code]},
+                "help": {"text": RULE_DOCS.get(code, RULES[code])},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return rules
+
+
+def _location(path: str, line: int, col: int, message: Optional[str] = None) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(line, 1), "startColumn": col + 1},
+        }
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _result(
+    finding: Finding,
+    digest: str,
+    rule_index: dict[str, int],
+    suppressed: bool,
+) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "partialFingerprints": {FINGERPRINT_KEY: digest},
+    }
+    if finding.chain:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {"location": _location(path, line, 0, note)}
+                            for path, line, note in finding.chain
+                        ]
+                    }
+                ]
+            }
+        ]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "acknowledged in the checked-in simlint baseline",
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    active: list[Finding],
+    suppressed: Iterable[Finding] = (),
+    stale: Iterable[BaselineEntry] = (),
+) -> dict:
+    """The SARIF 2.1.0 log dict for one simlint run."""
+    rule_index = {code: index for index, code in enumerate(sorted(RULES))}
+    results = [
+        _result(finding, digest, rule_index, suppressed=False)
+        for finding, digest in fingerprint_findings(active)
+    ]
+    results += [
+        _result(finding, digest, rule_index, suppressed=True)
+        for finding, digest in fingerprint_findings(list(suppressed))
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "simlint",
+                "informationUri": "https://example.invalid/simlint",
+                "rules": _rule_objects(),
+            }
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    stale_list = list(stale)
+    if stale_list:
+        run["invocations"] = [
+            {
+                "executionSuccessful": True,
+                "toolExecutionNotifications": [
+                    {
+                        "level": "warning",
+                        "message": {
+                            "text": "stale baseline entry (code changed or "
+                            f"fixed): {entry.render()}"
+                        },
+                    }
+                    for entry in stale_list
+                ],
+            }
+        ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def dumps(log: dict) -> str:
+    """Serialize deterministically (sorted keys, stable indentation)."""
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "FINGERPRINT_KEY",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "dumps",
+    "to_sarif",
+]

@@ -1,17 +1,29 @@
-"""simlint: the PDES determinism lint, runnable as a module.
+"""simlint v2: the whole-program PDES determinism lint, runnable as a module.
 
 Usage::
 
     python -m repro.analysis.simlint src tests
-    python -m repro.analysis.simlint --format json src
+    python -m repro.analysis.simlint --format sarif --output simlint.sarif src
+    python -m repro.analysis.simlint --explain SIM013
     python -m repro.analysis.simlint --write-baseline src tests
 
-Walks the given files/directories (default: ``src tests``), applies the
-rules of :mod:`repro.analysis.rules` with zone scoping, subtracts the
-checked-in baseline (``simlint.baseline`` next to the current working
-directory by default), and reports the rest.  Exit status is 0 when no
-active findings remain, 1 when findings (or, with ``--strict``, stale
-baseline entries) exist, and 2 on usage errors.
+Three passes run over the given files/directories (default ``src tests``):
+
+1. the legacy per-file rules (SIM000-SIM006) of
+   :mod:`repro.analysis.rules`, zone-scoped by path;
+2. the whole-program determinism dataflow (SIM010-SIM014) of
+   :mod:`repro.analysis.dataflow`, over per-file taint summaries built by
+   the project index (:mod:`repro.analysis.index`) — both findings and
+   summaries are cached by content hash under ``.repro_cache/simlint/``,
+   so warm runs re-parse nothing;
+3. the shard-safety pass (SIM020-SIM023) of
+   :mod:`repro.analysis.shardrules` over ``repro/shard/`` modules.
+
+Findings are merged, the checked-in baseline (``simlint.baseline``)
+subtracted, and the rest reported as text, JSON, or SARIF 2.1.0 (for
+GitHub code-scanning annotations).  Exit status is 0 when no active
+findings remain, 1 when findings (or, with ``--strict``, stale baseline
+entries) exist or ``--max-seconds`` is exceeded, and 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -19,31 +31,51 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.analysis import dataflow, shardrules
 from repro.analysis.baseline import (
     apply_baseline,
     fingerprint_findings,
     load_baseline,
     write_baseline,
 )
-from repro.analysis.rules import RULES, Finding, lint_source, zone_of
+from repro.analysis.index import IndexedFile, build_index, default_cache_dir
+from repro.analysis.rules import RULE_DOCS, RULES, Finding, zone_of
+from repro.analysis.sarif import dumps as sarif_dumps
+from repro.analysis.sarif import to_sarif
 
 #: Default baseline filename, resolved against the working directory.
 DEFAULT_BASELINE = "simlint.baseline"
 
-#: Schema version of the ``--format json`` output.
-JSON_SCHEMA_VERSION = 1
+#: Schema version of the ``--format json`` output (2 adds ``chain``).
+JSON_SCHEMA_VERSION = 2
+
+#: Path substrings excluded from directory walks by default.  The golden
+#: corpus is deliberately full of violations; explicit file arguments
+#: still reach it (the exclusion applies to directory expansion only).
+DEFAULT_EXCLUDES = ("fixtures/simlint",)
 
 
-def iter_python_files(paths: Sequence[str]) -> list[Path]:
-    """Every ``.py`` file under *paths*, deterministically ordered."""
+def iter_python_files(
+    paths: Sequence[str], exclude: Sequence[str] = DEFAULT_EXCLUDES
+) -> list[Path]:
+    """Every ``.py`` file under *paths*, deterministically ordered.
+
+    *exclude* substrings filter files found by directory expansion;
+    explicitly named files bypass the filter.
+    """
     files: list[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            for file in sorted(path.rglob("*.py")):
+                posix = file.as_posix()
+                if any(fragment in posix for fragment in exclude):
+                    continue
+                files.append(file)
         elif path.suffix == ".py":
             files.append(path)
         elif not path.exists():
@@ -67,18 +99,47 @@ def display_path(path: Path) -> str:
     return relative.as_posix()
 
 
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[set[str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    exclude: Sequence[str] = DEFAULT_EXCLUDES,
+) -> list[Finding]:
+    """All three passes over *paths*; returns merged, sorted findings."""
+    files = [(file, display_path(file)) for file in iter_python_files(paths, exclude)]
+    indexed, _cache = build_index(files, cache_dir=cache_dir, use_cache=use_cache)
+    findings = _findings_of_index(indexed)
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _findings_of_index(indexed: list[IndexedFile]) -> list[Finding]:
+    """Merge per-file, dataflow, and shard-pass findings for an index."""
+    findings: list[Finding] = []
+    lines_by_path: dict[str, list[str]] = {}
+    summaries = []
+    for entry in indexed:
+        findings.extend(entry.findings)
+        lines_by_path[entry.path] = entry.lines
+        if entry.summary is not None:
+            summaries.append(entry.summary)
+    findings.extend(dataflow.analyze(summaries, source_lines=lines_by_path))
+    findings.extend(shardrules.sync_site_findings(summaries, lines_by_path))
+    for entry in indexed:
+        if shardrules.is_shard_path(entry.path) and entry.lines:
+            findings.extend(
+                shardrules.check_shard_source("\n".join(entry.lines), entry.path)
+            )
+    return findings
+
+
 def lint_paths(
     paths: Sequence[str], rules: Optional[set[str]] = None
 ) -> list[Finding]:
-    """Lint every Python file under *paths*; returns sorted findings."""
-    findings: list[Finding] = []
-    for file in iter_python_files(paths):
-        source = file.read_text(encoding="utf-8")
-        file_findings = lint_source(source, display_path(file))
-        if rules is not None:
-            file_findings = [f for f in file_findings if f.rule in rules]
-        findings.extend(file_findings)
-    return sorted(findings, key=Finding.sort_key)
+    """Back-compat alias for :func:`run_lint` (cache enabled)."""
+    return run_lint(paths, rules)
 
 
 def _json_report(
@@ -95,6 +156,7 @@ def _json_report(
                 "col": finding.col,
                 "message": finding.message,
                 "snippet": finding.snippet,
+                "chain": [list(step) for step in finding.chain],
                 "zone": zone_of(finding.path),
                 "fingerprint": digest,
                 "suppressed": is_suppressed,
@@ -121,7 +183,10 @@ def _json_report(
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.simlint",
-        description="PDES determinism lint (rules SIM001-SIM006).",
+        description=(
+            "PDES determinism lint: per-file rules SIM000-SIM006, "
+            "whole-program dataflow SIM010-SIM014, shard safety SIM020-SIM023."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -131,9 +196,15 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--baseline",
@@ -156,6 +227,40 @@ def _parser() -> argparse.ArgumentParser:
         help="treat stale baseline entries as failures",
     )
     parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print the extended documentation for RULE and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash index cache (always re-parse)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"index cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="FRAGMENT",
+        help=(
+            "extra path fragment to skip during directory walks "
+            f"(always excluded: {', '.join(DEFAULT_EXCLUDES)})"
+        ),
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="T",
+        help="fail (exit 1) if linting takes longer than T seconds",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     return parser
@@ -169,6 +274,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{code}  {RULES[code]}")
         return 0
 
+    if args.explain is not None:
+        code = args.explain.strip().upper()
+        if code not in RULES:
+            print(f"unknown rule: {code}", file=sys.stderr)
+            return 2
+        print(f"{code}  {RULES[code]}")
+        print()
+        print(RULE_DOCS[code])
+        return 0
+
     rules: Optional[set[str]] = None
     if args.rules:
         rules = {code.strip().upper() for code in args.rules.split(",") if code.strip()}
@@ -177,11 +292,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
 
+    exclude = list(DEFAULT_EXCLUDES) + (args.exclude or [])
+    started = time.perf_counter()
     try:
-        findings = lint_paths(args.paths, rules)
+        findings = run_lint(
+            args.paths,
+            rules,
+            use_cache=not args.no_cache,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            exclude=exclude,
+        )
     except FileNotFoundError as err:
         print(str(err), file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
 
@@ -199,14 +323,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
     active, suppressed, stale = apply_baseline(findings, entries)
 
-    if args.format == "json":
-        json.dump(_json_report(active, suppressed, stale), sys.stdout, indent=2)
-        print()
-    else:
-        for finding in active:
-            print(finding.render())
-            if finding.snippet:
-                print(f"    {finding.snippet}")
+    out = sys.stdout
+    close_out = False
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")
+        close_out = True
+    try:
+        if args.format == "sarif":
+            out.write(sarif_dumps(to_sarif(active, suppressed, stale)))
+        elif args.format == "json":
+            json.dump(_json_report(active, suppressed, stale), out, indent=2)
+            out.write("\n")
+        else:
+            for finding in active:
+                print(finding.render(), file=out)
+                if finding.snippet:
+                    print(f"    {finding.snippet}", file=out)
+                for path, line, note in finding.chain:
+                    print(f"    via {path}:{line}: {note}", file=out)
+    finally:
+        if close_out:
+            out.close()
+
+    if args.format == "text" or args.output:
         for entry in stale:
             print(
                 f"stale baseline entry (code changed or fixed): {entry.render()}",
@@ -218,6 +357,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(summary, file=sys.stderr)
 
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"simlint: lint took {elapsed:.2f}s, over the --max-seconds "
+            f"budget of {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
     if active:
         return 1
     if stale and args.strict:

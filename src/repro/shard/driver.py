@@ -73,6 +73,18 @@ _FINISH = "finish"
 _EXIT = "exit"
 _ERROR = "error"
 
+#: Barrier-protocol ownership of each shared-memory array: which side may
+#: write its slots after the fork.  The parent publishes the per-window
+#: clock rates; the workers publish next-event times and the busy mask.
+#: simlint's shard-safety pass (rule SIM020) enforces this table
+#: statically — writes from the non-owning side race the barrier.
+SHM_OWNERS: dict[str, str] = {
+    "busy_rates": "parent",
+    "idle_rates": "parent",
+    "times_arr": "worker",
+    "busy_mask": "worker",
+}
+
 #: Seconds between liveness probes while waiting on a worker reply.
 _POLL_INTERVAL = 0.2
 

@@ -1,0 +1,12 @@
+# dest: src/repro/core/rng_leak.py
+# expect: SIM002:10 SIM002:11
+# Seedless/direct RNG construction outside engine/rng.py (the v2 SIM002 gap).
+import random
+
+import numpy
+
+
+def make(seed):
+    unseeded = random.Random()
+    legacy = numpy.random.RandomState(seed)
+    return unseeded, legacy

@@ -1,0 +1,13 @@
+# dest: src/repro/core/sched_leak.py
+# expect: SIM001:8 SIM010:13 SIM014:12
+# A wall-clock stamp laundered through a helper into event scheduling.
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def kick(engine):
+    due = _stamp()
+    engine.schedule(due, None)

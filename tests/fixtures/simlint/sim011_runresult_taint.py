@@ -1,0 +1,9 @@
+# dest: src/repro/core/result_leak.py
+# expect: SIM002:8 SIM011:9
+# An unseeded draw flowing into the run's observable result.
+import random
+
+
+def finish(stats):
+    jitter = random.random()
+    return RunResult(sim_time=jitter, stats=stats)

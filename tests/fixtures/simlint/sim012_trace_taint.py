@@ -1,0 +1,8 @@
+# dest: src/repro/obs/trace_leak.py
+# expect: SIM012:8
+# A host hash() value stamped into a trace-event payload.
+from repro.obs.events import PacketTrace
+
+
+def emit(collector, packet):
+    collector.record(PacketTrace(packet_id=hash(packet)))

@@ -1,0 +1,15 @@
+# dest: src/repro/harness/key_leak.py
+# expect: SIM013:15
+# The laundered wall-clock -> cache-key flow: SIM001 stays silent (the
+# harness may time things), and no single file shows the whole path —
+# only the whole-program pass can connect the read to the key.
+import time
+
+
+def _now():
+    return time.time()
+
+
+class Settings:
+    def key_fragment(self, size):
+        return {"size": size, "stamp": _now()}

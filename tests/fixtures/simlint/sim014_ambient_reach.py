@@ -1,0 +1,13 @@
+# dest: src/repro/core/ambient_leak.py
+# expect: SIM014:8 SIM014:12
+# Ambient host state (cpu_count) read by — and reached from — sim core.
+import os
+
+
+def _pool_width():
+    return os.cpu_count() or 1
+
+
+def plan_layout(nodes):
+    width = _pool_width()
+    return [nodes[i::width] for i in range(width)]

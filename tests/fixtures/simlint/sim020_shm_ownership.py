@@ -1,0 +1,31 @@
+# dest: src/repro/shard/bad_driver.py
+# expect: SIM020:27
+# A worker-side write to a parent-owned shared-memory array.
+import multiprocessing
+from multiprocessing.sharedctypes import RawArray
+
+_STEP = "step"
+
+SHM_OWNERS = {"rates": "parent", "times": "worker"}
+
+
+def launch(num):
+    rates = RawArray("d", num)
+    times = RawArray("q", num)
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker, args=(child, rates, times))
+    proc.start()
+    parent.send((_STEP, 0))
+    return parent.recv()
+
+
+def _worker(conn, rates, times):
+    while True:
+        op, node = conn.recv()
+        if op == _STEP:
+            rates[node] = 0.0
+            times[node] = 7
+            conn.send((_STEP, node))
+        else:
+            break

@@ -1,0 +1,25 @@
+# dest: src/repro/shard/bad_protocol.py
+# expect: SIM021:16
+# A parent-sent command tag the worker dispatch never handles.
+import multiprocessing
+
+_PING = "ping"
+_FLUSH = "flush"
+
+
+def drive():
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker, args=(child,))
+    proc.start()
+    parent.send((_PING,))
+    parent.send((_FLUSH,))
+    return parent.recv()
+
+
+def _worker(conn):
+    while True:
+        command = conn.recv()
+        op = command[0]
+        if op == _PING:
+            conn.send((_PING,))

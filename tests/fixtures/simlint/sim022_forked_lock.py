@@ -1,0 +1,9 @@
+# dest: src/repro/node/locky.py
+# expect: SIM022:9
+# A lock constructed in a fork-inherited simulation object.
+import threading
+
+
+class NodeMailbox:
+    def __init__(self):
+        self._lock = threading.Lock()

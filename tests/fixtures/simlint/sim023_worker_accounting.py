@@ -1,0 +1,18 @@
+# dest: src/repro/shard/bad_accounting.py
+# expect: SIM023:16 SIM023:17
+# Worker-side mutation of parent-only accounting state.
+import multiprocessing
+
+
+def launch(sim):
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker, args=(sim, child))
+    proc.start()
+    return parent
+
+
+def _worker(sim, conn):
+    sim.perf.quanta += 1
+    sim.quantum_stats.record(4)
+    conn.send(None)

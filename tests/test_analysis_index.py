@@ -1,0 +1,212 @@
+"""The project index and its content-hash cache.
+
+Warm runs must reuse cached entries, cached and uncached analysis must
+agree finding-for-finding, corrupt entries are quarantined (mirroring
+``DiskResultCache``) and recomputed, and undecodable source files become
+a SIM000 finding rather than a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import simlint
+from repro.analysis.index import (
+    INDEX_VERSION,
+    FileCache,
+    build_index,
+    default_cache_dir,
+    index_file,
+)
+
+LEAKY = textwrap.dedent(
+    """
+    import time
+
+    def _stamp():
+        return time.time()
+
+    def kick(engine):
+        engine.schedule(_stamp(), None)
+    """
+)
+
+
+def write_tree(tmp_path: Path) -> Path:
+    target = tmp_path / "src/repro/core/leak.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(LEAKY)
+    return target
+
+
+# --------------------------------------------------------------------- #
+# Cache hit/miss mechanics
+# --------------------------------------------------------------------- #
+
+
+def test_warm_run_hits_cache(tmp_path, monkeypatch) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    cold = simlint.run_lint(["src"], cache_dir=cache_dir)
+    entries = list(cache_dir.glob("*.json"))
+    assert entries, "cold run wrote no cache entries"
+
+    warm = simlint.run_lint(["src"], cache_dir=cache_dir)
+    assert [f.render() for f in warm] == [f.render() for f in cold]
+
+    cache = FileCache(cache_dir)
+    file = tmp_path / "src/repro/core/leak.py"
+    indexed = index_file(file, "src/repro/core/leak.py", cache)
+    assert indexed.from_cache
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_cached_and_uncached_findings_identical(tmp_path, monkeypatch) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    uncached = simlint.run_lint(["src"], use_cache=False)
+    simlint.run_lint(["src"], cache_dir=cache_dir)  # populate
+    cached = simlint.run_lint(["src"], cache_dir=cache_dir)
+    assert [(f.rule, f.path, f.line, f.col, f.message, f.chain) for f in cached] == [
+        (f.rule, f.path, f.line, f.col, f.message, f.chain) for f in uncached
+    ]
+    # Chains survive the JSON round-trip as tuples of (path, line, note).
+    chained = [f for f in cached if f.chain]
+    assert chained
+    for finding in chained:
+        for step in finding.chain:
+            assert isinstance(step, tuple) and len(step) == 3
+
+
+def test_content_change_invalidates(tmp_path, monkeypatch) -> None:
+    file = write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    before = simlint.run_lint(["src"], cache_dir=cache_dir)
+    assert any(f.rule == "SIM010" for f in before)
+
+    file.write_text("def kick(engine, due):\n    engine.schedule(due, None)\n")
+    after = simlint.run_lint(["src"], cache_dir=cache_dir)
+    assert after == []
+
+
+def test_key_depends_on_path_and_content() -> None:
+    cache = FileCache(Path("/nonexistent"))
+    base = cache.key_of("src/a.py", b"x = 1\n")
+    assert cache.key_of("src/b.py", b"x = 1\n") != base
+    assert cache.key_of("src/a.py", b"x = 2\n") != base
+    assert cache.key_of("src/a.py", b"x = 1\n") == base
+
+
+# --------------------------------------------------------------------- #
+# Corruption and quarantine
+# --------------------------------------------------------------------- #
+
+
+def test_corrupt_entry_quarantined_and_recomputed(tmp_path, monkeypatch) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    cold = simlint.run_lint(["src"], cache_dir=cache_dir)
+    (entry,) = cache_dir.glob("*.json")
+    entry.write_text("{not json", encoding="utf-8")
+
+    warm = simlint.run_lint(["src"], cache_dir=cache_dir)
+    assert [f.render() for f in warm] == [f.render() for f in cold]
+    assert list(cache_dir.glob("*.corrupt")), "corrupt entry was not quarantined"
+    # The recomputed entry was re-written and is valid again.
+    (fresh,) = cache_dir.glob("*.json")
+    assert json.loads(fresh.read_text())["version"] == INDEX_VERSION
+
+
+def test_version_mismatch_treated_as_miss(tmp_path, monkeypatch) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    simlint.run_lint(["src"], cache_dir=cache_dir)
+    (entry,) = cache_dir.glob("*.json")
+    blob = json.loads(entry.read_text())
+    blob["version"] = INDEX_VERSION - 1
+    entry.write_text(json.dumps(blob), encoding="utf-8")
+
+    cache = FileCache(cache_dir)
+    assert cache.get(entry.stem) is None
+    assert cache.misses == 1
+
+
+def test_read_only_cache_dir_never_fails_lint(tmp_path, monkeypatch) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    blocked = tmp_path / "blocked"
+    blocked.write_text("not a directory")  # mkdir(parents=True) will fail
+
+    findings = simlint.run_lint(["src"], cache_dir=blocked)
+    assert any(f.rule == "SIM010" for f in findings)
+
+
+# --------------------------------------------------------------------- #
+# Undecodable sources
+# --------------------------------------------------------------------- #
+
+
+def test_undecodable_source_becomes_sim000(tmp_path, monkeypatch) -> None:
+    target = tmp_path / "src/repro/core/binary.py"
+    target.parent.mkdir(parents=True)
+    target.write_bytes(b"x = 1\n\xff\xfe garbage\n")
+    monkeypatch.chdir(tmp_path)
+
+    findings = simlint.run_lint(["src"], use_cache=False)
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "not valid UTF-8" in findings[0].message
+    assert "quarantined" in findings[0].message
+
+
+def test_undecodable_source_skips_cache(tmp_path) -> None:
+    target = tmp_path / "binary.py"
+    target.write_bytes(b"\xff\xfe")
+    cache = FileCache(tmp_path / "cache")
+    indexed = index_file(target, "binary.py", cache)
+    assert indexed.summary is None
+    assert not indexed.from_cache
+    assert not list((tmp_path / "cache").glob("*.json"))
+
+
+# --------------------------------------------------------------------- #
+# Wiring
+# --------------------------------------------------------------------- #
+
+
+def test_build_index_without_cache(tmp_path) -> None:
+    file = tmp_path / "mod.py"
+    file.write_text("x = 1\n")
+    indexed, cache = build_index([(file, "mod.py")], use_cache=False)
+    assert cache is None
+    assert len(indexed) == 1
+    assert indexed[0].summary is not None
+
+
+def test_default_cache_dir_respects_env(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_cache_dir() == Path(".repro_cache") / "simlint"
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/altcache")
+    assert default_cache_dir() == Path("/tmp/altcache") / "simlint"
+
+
+def test_cli_no_cache_flag(tmp_path, monkeypatch, capsys) -> None:
+    write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    rc = simlint.main(
+        ["--no-cache", "--baseline", str(tmp_path / "isolated.baseline"), "src"]
+    )
+    assert rc == 1
+    assert "SIM010" in capsys.readouterr().out
+    assert not (tmp_path / ".repro_cache").exists()

@@ -1,0 +1,203 @@
+"""The SARIF 2.1.0 exporter.
+
+Structure, byte-determinism, suppression/codeFlow mapping, CLI wiring,
+and validation against the vendored subset of the official SARIF 2.1.0
+schema (full-schema semantics for everything simlint emits; validated
+with ``jsonschema`` when the environment provides it).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import simlint
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.rules import RULES, Finding
+from repro.analysis.sarif import (
+    FINGERPRINT_KEY,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    dumps,
+    to_sarif,
+)
+
+SCHEMA_PATH = Path(__file__).parent / "fixtures" / "sarif-2.1.0-subset.schema.json"
+
+
+def make_finding(**overrides) -> Finding:
+    fields = {
+        "rule": "SIM010",
+        "path": "src/repro/core/leak.py",
+        "line": 8,
+        "col": 4,
+        "message": "wall-clock value reaches engine.schedule()",
+        "snippet": "engine.schedule(_stamp(), None)",
+        "chain": (
+            ("src/repro/core/leak.py", 5, "time.time read here"),
+            ("src/repro/core/leak.py", 8, "enters the event schedule"),
+        ),
+    }
+    fields.update(overrides)
+    return Finding(**fields)
+
+
+# --------------------------------------------------------------------- #
+# Structure
+# --------------------------------------------------------------------- #
+
+
+def test_log_skeleton() -> None:
+    log = to_sarif([make_finding()])
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    assert len(run["results"]) == 1
+
+
+def test_every_rule_is_declared_with_stable_index() -> None:
+    log = to_sarif([])
+    rules = log["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(RULES)
+    # ruleIndex in results must point into this array.
+    log = to_sarif([make_finding(rule="SIM013")])
+    (result,) = log["runs"][0]["results"]
+    assert rules[result["ruleIndex"]]["id"] == "SIM013"
+
+
+def test_result_location_and_fingerprint() -> None:
+    log = to_sarif([make_finding()])
+    (result,) = log["runs"][0]["results"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 8
+    assert region["startColumn"] == 5  # SARIF columns are 1-based
+    assert FINGERPRINT_KEY in result["partialFingerprints"]
+    assert len(result["partialFingerprints"][FINGERPRINT_KEY]) == 12
+
+
+def test_chain_becomes_code_flow() -> None:
+    log = to_sarif([make_finding()])
+    (result,) = log["runs"][0]["results"]
+    steps = result["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert len(steps) == 2
+    assert steps[0]["location"]["message"]["text"] == "time.time read here"
+    assert steps[0]["location"]["physicalLocation"]["region"]["startLine"] == 5
+
+
+def test_chainless_finding_has_no_code_flow() -> None:
+    log = to_sarif([make_finding(chain=())])
+    (result,) = log["runs"][0]["results"]
+    assert "codeFlows" not in result
+
+
+def test_suppressed_findings_marked() -> None:
+    log = to_sarif([make_finding()], suppressed=[make_finding(rule="SIM011")])
+    results = log["runs"][0]["results"]
+    assert len(results) == 2
+    by_rule = {r["ruleId"]: r for r in results}
+    assert "suppressions" not in by_rule["SIM010"]
+    (suppression,) = by_rule["SIM011"]["suppressions"]
+    assert suppression["kind"] == "external"
+
+
+def test_stale_entries_become_notifications() -> None:
+    stale = [BaselineEntry(rule="SIM006", path="src/gone.py", fingerprint="ab" * 6)]
+    log = to_sarif([], stale=stale)
+    (invocation,) = log["runs"][0]["invocations"]
+    assert invocation["executionSuccessful"] is True
+    (note,) = invocation["toolExecutionNotifications"]
+    assert "stale baseline entry" in note["message"]["text"]
+    assert "src/gone.py" in note["message"]["text"]
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+
+
+def test_dumps_is_byte_deterministic() -> None:
+    findings = [make_finding(), make_finding(rule="SIM013", line=3)]
+    first = dumps(to_sarif(findings))
+    second = dumps(to_sarif(list(findings)))
+    assert first == second
+    assert first.endswith("\n")
+    assert json.loads(first)  # well-formed
+
+
+# --------------------------------------------------------------------- #
+# Schema validation (jsonschema is an environment tool, not a project dep)
+# --------------------------------------------------------------------- #
+
+
+def validate_against_subset_schema(log: dict) -> None:
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    jsonschema.validate(instance=log, schema=schema)
+
+
+def test_validates_against_sarif_schema() -> None:
+    stale = [BaselineEntry(rule="SIM006", path="src/gone.py", fingerprint="ab" * 6)]
+    log = to_sarif(
+        [make_finding(), make_finding(rule="SIM002", chain=())],
+        suppressed=[make_finding(rule="SIM011")],
+        stale=stale,
+    )
+    validate_against_subset_schema(log)
+
+
+def test_empty_log_validates() -> None:
+    validate_against_subset_schema(to_sarif([]))
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring
+# --------------------------------------------------------------------- #
+
+
+def test_cli_sarif_output(tmp_path, monkeypatch) -> None:
+    target = tmp_path / "src/repro/core/leak.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def kick(engine):
+                engine.schedule(time.time(), None)
+            """
+        )
+    )
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "simlint.sarif"
+    rc = simlint.main(
+        [
+            "--format", "sarif",
+            "--output", str(out),
+            "--no-cache",
+            "--baseline", str(tmp_path / "isolated.baseline"),
+            "src",
+        ]
+    )
+    assert rc == 1  # findings still drive the exit code
+    log = json.loads(out.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    rules_fired = {r["ruleId"] for r in log["runs"][0]["results"]}
+    assert "SIM010" in rules_fired
+    validate_against_subset_schema(log)
+
+    # Two CLI exports of the same tree are byte-identical.
+    out2 = tmp_path / "second.sarif"
+    simlint.main(
+        [
+            "--format", "sarif",
+            "--output", str(out2),
+            "--no-cache",
+            "--baseline", str(tmp_path / "isolated.baseline"),
+            "src",
+        ]
+    )
+    assert out.read_bytes() == out2.read_bytes()

@@ -169,9 +169,55 @@ def test_sim002_seeded_constructors_ok() -> None:
 
         def make(seed):
             gen = np.random.default_rng(seed)
-            return np.random.Generator(np.random.PCG64(seed)), gen
+            seq = np.random.PCG64(np.random.SeedSequence(seed))
+            return seq, gen
     """
     assert lint(source, CORE) == []
+
+
+def test_sim002_seedless_stdlib_random_instance() -> None:
+    source = """
+        import random
+
+        def make():
+            return random.Random()
+    """
+    assert rules_of(lint(source, CORE)) == ["SIM002"]
+
+
+def test_sim002_seeded_stdlib_random_instance_ok() -> None:
+    source = """
+        import random
+
+        def make(seed):
+            return random.Random(seed)
+    """
+    assert lint(source, CORE) == []
+
+
+def test_sim002_direct_generator_construction() -> None:
+    # Even seeded, Generator/RandomState must be built inside engine/rng.py
+    # so every stream is named and attributable.
+    source = """
+        import numpy as np
+
+        def make(seed):
+            return np.random.Generator(np.random.PCG64(seed))
+    """
+    assert rules_of(lint(source, CORE)) == ["SIM002"]
+    assert rules_of(lint(source, HARNESS)) == ["SIM002"]
+    assert lint(source, RNG) == []
+
+
+def test_sim002_direct_randomstate_construction() -> None:
+    source = """
+        import numpy as np
+
+        def make(seed):
+            return np.random.RandomState(seed)
+    """
+    assert rules_of(lint(source, CORE)) == ["SIM002"]
+    assert lint(source, RNG) == []
 
 
 def test_sim002_applies_to_harness_but_not_rng_module() -> None:
@@ -484,6 +530,39 @@ def test_baseline_goes_stale_when_code_changes(tmp_path: Path) -> None:
     assert len(stale) == 1
 
 
+def test_write_baseline_is_byte_deterministic(tmp_path: Path) -> None:
+    """Satellite (b): the baseline file is a stable artifact.
+
+    Two writes of the same finding set — even presented in different
+    orders — must produce byte-identical files, so a regenerated
+    baseline never churns in review.
+    """
+    source = """
+        import time
+        import random
+
+        def stamp():
+            return time.time()
+
+        def draw():
+            return random.random()
+    """
+    findings = lint(source, CORE)
+    assert len(findings) >= 2
+
+    first = tmp_path / "first.baseline"
+    second = tmp_path / "second.baseline"
+    write_baseline(first, findings, comment="known")
+    write_baseline(second, list(reversed(findings)), comment="known")
+    assert first.read_bytes() == second.read_bytes()
+
+    # Entries are sorted by (rule, path, fingerprint).
+    entries = load_baseline(first)
+    assert entries == sorted(
+        entries, key=lambda e: (e.rule, e.path, e.fingerprint)
+    )
+
+
 def test_baseline_parse_rejects_malformed_lines() -> None:
     with pytest.raises(ValueError, match="expected"):
         parse_baseline("SIM001 only-two-fields\n")
@@ -508,15 +587,20 @@ def make_tree(tmp_path: Path, source: str) -> Path:
     return tmp_path / "src"
 
 
+def baseline_args(tmp_path: Path) -> list[str]:
+    """Isolate CLI tests from the repository's checked-in baseline."""
+    return ["--baseline", str(tmp_path / "isolated.baseline")]
+
+
 def test_cli_exit_zero_on_clean_tree(tmp_path: Path, capsys) -> None:
     root = make_tree(tmp_path, "def f():\n    return 1\n")
-    assert simlint.main([str(root)]) == 0
+    assert simlint.main([*baseline_args(tmp_path), str(root)]) == 0
     assert "0 finding(s)" in capsys.readouterr().err
 
 
 def test_cli_exit_one_on_findings(tmp_path: Path, capsys) -> None:
     root = make_tree(tmp_path, BAD_CORE_SOURCE)
-    assert simlint.main([str(root)]) == 1
+    assert simlint.main([*baseline_args(tmp_path), str(root)]) == 1
     captured = capsys.readouterr()
     assert "SIM001" in captured.out
 
@@ -529,14 +613,14 @@ def test_cli_exit_two_on_unknown_rule_or_missing_path(tmp_path: Path, capsys) ->
 
 def test_cli_rule_filter(tmp_path: Path, capsys) -> None:
     root = make_tree(tmp_path, BAD_CORE_SOURCE)
-    assert simlint.main(["--rules", "SIM005", str(root)]) == 0
-    assert simlint.main(["--rules", "sim001", str(root)]) == 1
+    assert simlint.main([*baseline_args(tmp_path), "--rules", "SIM005", str(root)]) == 0
+    assert simlint.main([*baseline_args(tmp_path), "--rules", "sim001", str(root)]) == 1
     capsys.readouterr()
 
 
 def test_cli_json_schema(tmp_path: Path, capsys) -> None:
     root = make_tree(tmp_path, BAD_CORE_SOURCE)
-    assert simlint.main(["--format", "json", str(root)]) == 1
+    assert simlint.main([*baseline_args(tmp_path), "--format", "json", str(root)]) == 1
     report = json.loads(capsys.readouterr().out)
     assert report["version"] == simlint.JSON_SCHEMA_VERSION
     assert report["rules"] == RULES
@@ -544,7 +628,7 @@ def test_cli_json_schema(tmp_path: Path, capsys) -> None:
     (finding,) = report["findings"]
     assert set(finding) == {
         "rule", "path", "line", "col", "message", "snippet", "zone",
-        "fingerprint", "suppressed",
+        "fingerprint", "suppressed", "chain",
     }
     assert finding["rule"] == "SIM001"
     assert finding["zone"] == "sim-core"
