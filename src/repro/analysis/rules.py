@@ -55,7 +55,18 @@ from typing import Iterable, Optional, Union
 
 #: Packages under ``repro`` that form the deterministic simulation core.
 SIM_CORE_PACKAGES = frozenset(
-    {"engine", "core", "network", "node", "mpi", "workloads", "faults", "obs", "shard"}
+    {
+        "engine",
+        "core",
+        "network",
+        "node",
+        "mpi",
+        "workloads",
+        "faults",
+        "obs",
+        "shard",
+        "checkpoint",
+    }
 )
 
 #: One-line description per rule, keyed by code.

@@ -1,0 +1,29 @@
+"""Deterministic checkpoint/restore for crash-safe, resumable runs.
+
+A quantum boundary of the conservative-PDES driver is a complete cut of
+the simulation; this package captures it (:mod:`.snapshot`), persists it
+crash-safely (:mod:`.store`), schedules it (:mod:`.config`), and journals
+experiment matrices for ``--resume`` (:mod:`.journal`).  Restored runs
+are bit-identical to uninterrupted ones — see DESIGN.md for the contract.
+"""
+
+from repro.checkpoint.config import DEFAULT_EVERY_QUANTA, CheckpointConfig
+from repro.checkpoint.journal import MatrixJournal
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_VERSION,
+    SimSnapshot,
+    capture_snapshot,
+    restore_snapshot,
+)
+from repro.checkpoint.store import CheckpointStore
+
+__all__ = [
+    "DEFAULT_EVERY_QUANTA",
+    "CheckpointConfig",
+    "MatrixJournal",
+    "SNAPSHOT_VERSION",
+    "SimSnapshot",
+    "capture_snapshot",
+    "restore_snapshot",
+    "CheckpointStore",
+]

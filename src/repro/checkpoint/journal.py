@@ -1,0 +1,85 @@
+"""Append-only matrix journal: which runs finished, with their rows.
+
+``run_matrix`` calls produce one :class:`ComparisonRow` per (workload,
+size, policy) cell; a crash or Ctrl-C mid-matrix used to lose the whole
+wave.  The journal records, one JSON line each, the lifecycle of every
+cell — ``start`` when it is dispatched, ``done`` with the finished row,
+``failed`` with the error — flushed and fsynced per line so a SIGKILL
+never loses an acknowledged entry and at worst truncates the line being
+written (truncated/garbled lines are skipped on load).
+
+Division of labour with the disk cache: :class:`DiskResultCache` already
+resumes *records* (the expensive simulation work) across crashes; the
+journal resumes *rows* — including ones from uncacheable runs — and
+tells ``--resume`` which cells need no recomputation at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Optional
+
+
+class MatrixJournal:
+    """One append-only JSONL file tracking a matrix's per-cell status."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    # -- writing -------------------------------------------------------- #
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        # One line, one durability point: flush to the OS and fsync to
+        # the disk so an acknowledged entry survives any kill.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def start(self, key: str) -> None:
+        self._append({"event": "start", "key": key})
+
+    def done(self, key: str, row: dict[str, Any]) -> None:
+        self._append({"event": "done", "key": key, "row": row})
+
+    def failed(self, key: str, error: str) -> None:
+        self._append({"event": "failed", "key": key, "error": error})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------- #
+
+    def completed_rows(self) -> dict[str, dict[str, Any]]:
+        """Key -> row payload for every cell journaled as ``done``.
+
+        Later entries win (a cell re-run after a failure journals again);
+        unparseable lines — the torn tail of a killed write — are
+        skipped, never fatal.
+        """
+        rows: dict[str, dict[str, Any]] = {}
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return rows
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(entry, dict) or not isinstance(entry.get("key"), str):
+                continue
+            if entry.get("event") == "done" and isinstance(entry.get("row"), dict):
+                rows[entry["key"]] = entry["row"]
+        return rows

@@ -38,11 +38,12 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.analysis.invariants import CausalitySanitizer, check_enabled
+from repro.checkpoint.config import CheckpointConfig
 from repro.core.barrier import BarrierModel
 from repro.core.quantum import QuantumPolicy, QuantumStats
 from repro.core.stats import BucketTimeline, HostCostBreakdown
@@ -132,6 +133,14 @@ class ClusterConfig:
             :meth:`ClusterSimulator.run` itself always steps serially;
             sharded results are bit-identical, so the setting never
             enters cache keys.
+        checkpoint: write crash-safe snapshots at this cadence (see
+            :mod:`repro.checkpoint`); None disables checkpointing.  A
+            checkpointed run is bit-identical to a plain one — restoring
+            a snapshot and running to completion reproduces the
+            uninterrupted results exactly — so, like ``check``/``trace``/
+            ``shards``, the setting never enters cache keys.  Checkpointed
+            runs step serially (:mod:`repro.shard` falls back, itself
+            bit-identical).
     """
 
     seed: int = 42
@@ -148,6 +157,7 @@ class ClusterConfig:
     faults: Optional[FaultPlan] = None
     trace: Optional[TraceConfig] = None
     shards: Optional[int] = None
+    checkpoint: Optional[CheckpointConfig] = None
 
 
 @dataclass
@@ -423,7 +433,22 @@ class ClusterSimulator:
             node.emit_hook = self._on_emit
             node.activity_hook = self._on_activity_change
             node.collector = self.collector
+            if self.config.checkpoint is not None:
+                # Snapshots replay the application input log to rebuild
+                # the (unpicklable) generators; recording costs one list
+                # append per application step, only when checkpointing.
+                node.app_log = []
             node.start()
+        #: Harness-installed per-quantum callback ``(now, window)`` — the
+        #: progress watchdog's beat (see :mod:`repro.harness.supervise`).
+        #: Plain runs pay one ``is None`` test per quantum.
+        self.supervision: Optional[Callable[[SimTime, SimTime], None]] = None
+        #: Where snapshots go: None builds the default store sink from
+        #: ``config.checkpoint`` on first use; tests install their own.
+        self.checkpoint_sink: Optional[Callable[[Any], None]] = None
+        #: Loop state installed by :func:`repro.checkpoint.restore_snapshot`;
+        #: :meth:`run` consumes it to continue instead of starting at zero.
+        self._resume: Optional[dict[str, Any]] = None
         self._window: tuple[SimTime, SimTime] = (0, 0)
         self._host_window_start: float = 0.0
         self._in_window = False
@@ -569,16 +594,35 @@ class ClusterSimulator:
         vectorized = self._vectorized
         perf = self.perf
 
-        now: SimTime = 0
-        host: float = 0.0
-        q_state = policy.initial()
-        quantum_stats = QuantumStats()
-        breakdown = HostCostBreakdown()
-        timeline = (
-            BucketTimeline(config.timeline_bucket)
-            if config.timeline_bucket is not None
-            else None
-        )
+        resume = self._resume
+        if resume is not None:
+            # A restored snapshot re-enters the loop mid-run with the
+            # exact locals the capture point saw (perf counters, queues,
+            # RNG positions were restored onto ``self`` already).
+            self._resume = None
+            now: SimTime = resume["now"]
+            host: float = resume["host"]
+            q_state = resume["q_state"]
+            quantum_stats = resume["quantum_stats"]
+            breakdown = resume["breakdown"]
+            timeline = resume["timeline"]
+        else:
+            now = 0
+            host = 0.0
+            q_state = policy.initial()
+            quantum_stats = QuantumStats()
+            breakdown = HostCostBreakdown()
+            timeline = (
+                BucketTimeline(config.timeline_bucket)
+                if config.timeline_bucket is not None
+                else None
+            )
+        supervision = self.supervision
+        checkpoint = config.checkpoint
+        # Cadence anchors: measured from the entry state so a resumed run
+        # does not immediately re-snapshot what it just restored.
+        cp_quanta = perf.event_quanta + perf.ff_quanta
+        cp_sim = now
 
         # The drain path reorders only *unobserved* work (packet creation
         # order, hence packet ids, differs from the interleaved paths), so
@@ -598,6 +642,10 @@ class ClusterSimulator:
             times = None
 
         while not self._done():
+            if supervision is not None:
+                # One call per quantum: the watchdog records progress and
+                # raises RunTimeout past its wall-clock deadline.
+                supervision(now, policy.window(q_state))
             if now >= config.sim_time_limit:
                 return self._result(now, host, False, breakdown, quantum_stats, timeline)
 
@@ -761,8 +809,62 @@ class ClusterSimulator:
                 for node_id in self._touched:
                     times[node_id] = peeks[node_id]()
             now = end
+            if checkpoint is not None:
+                quanta_done = perf.event_quanta + perf.ff_quanta
+                if (
+                    checkpoint.every_quanta is not None
+                    and quanta_done - cp_quanta >= checkpoint.every_quanta
+                ) or (
+                    checkpoint.every_sim_time is not None
+                    and now - cp_sim >= checkpoint.every_sim_time
+                ):
+                    self._emit_checkpoint(
+                        now, host, q_state, quantum_stats, breakdown, timeline
+                    )
+                    cp_quanta = quanta_done
+                    cp_sim = now
 
         return self._result(now, host, True, breakdown, quantum_stats, timeline)
+
+    def _emit_checkpoint(
+        self,
+        now: SimTime,
+        host: float,
+        q_state: float,
+        quantum_stats: QuantumStats,
+        breakdown: HostCostBreakdown,
+        timeline: Optional[BucketTimeline],
+    ) -> None:
+        """Capture the boundary state and hand it to the snapshot sink.
+
+        The capture/store machinery is imported lazily: plain runs never
+        touch :mod:`repro.checkpoint.snapshot` (which imports back into
+        this module at its top level).
+        """
+        from repro.checkpoint.snapshot import capture_snapshot
+
+        snapshot = capture_snapshot(
+            self,
+            now=now,
+            host=host,
+            q_state=q_state,
+            quantum_stats=quantum_stats,
+            breakdown=breakdown,
+            timeline=timeline,
+        )
+        if self.checkpoint_sink is None:
+            from repro.checkpoint.store import CheckpointStore
+
+            checkpoint = self.config.checkpoint
+            assert checkpoint is not None
+            store = CheckpointStore(checkpoint.directory)
+            label, key = checkpoint.label, checkpoint.key
+
+            def sink(snap: Any) -> None:
+                store.save(label, snap, key=key)
+
+            self.checkpoint_sink = sink
+        self.checkpoint_sink(snapshot)
 
     def _run_window(self, end: SimTime) -> None:
         """Interleave node events in host-time order until the barrier.

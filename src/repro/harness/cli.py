@@ -27,6 +27,7 @@ from repro.harness import figures
 from repro.harness.configs import GROUND_TRUTH_LABEL, scaleout_configs
 from repro.harness.experiment import ExperimentRecord, ExperimentRunner
 from repro.harness.parallel import ParallelRunner
+from repro.harness.supervise import RunTimeout
 from repro.harness.sweep import sweep_inc_dec
 from repro.node.transport import RecoveryConfig, TransportConfig
 from repro.obs.collector import TraceConfig, run_slug
@@ -131,6 +132,40 @@ def _parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="after the runs, diff each traced run against its Q<=T "
         "ground-truth trace by packet identity (implies tracing)",
+    )
+    common.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="periodically snapshot every run into DIR and journal matrix "
+        "progress there (checkpointed runs are bit-identical to plain "
+        "ones and never affect cache keys)",
+    )
+    common.add_argument(
+        "--resume",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="resume from --checkpoint-dir: finished matrix cells are "
+        "read back from the journal and interrupted runs restart from "
+        "their latest snapshot (byte-identical to an uninterrupted run)",
+    )
+    common.add_argument(
+        "--run-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=argparse.SUPPRESS,
+        help="wall-clock budget per run; a run past it fails with a "
+        "structured RunTimeout carrying its last quantum's diagnostics "
+        "(hangs are detected too: no quantum for SECONDS also fires)",
+    )
+    common.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=argparse.SUPPRESS,
+        help="retry transient failures (killed worker, timeout) up to N "
+        "times with exponential backoff; deterministic errors such as "
+        "invariant violations always fail fast",
     )
 
     parser = argparse.ArgumentParser(
@@ -257,6 +292,11 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("\ninterrupted", file=sys.stderr)
         return 130
+    except RunTimeout as error:
+        # Already carries the run's full diagnostics (label, sim time,
+        # window, quanta, wall seconds); no traceback needed.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _main(argv: list[str] | None = None) -> int:
@@ -294,6 +334,14 @@ def _execute(args: argparse.Namespace) -> int:
     args.check = True if getattr(args, "check", False) else None
     # None defers to REPRO_SHARDS; never part of cache keys (bit-identical).
     args.shards = getattr(args, "shards", None)
+    # Robustness knobs: like check/trace/shards, none of these changes any
+    # result bit or any cache key.
+    args.checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    args.resume = getattr(args, "resume", False)
+    args.run_timeout = getattr(args, "run_timeout", None)
+    args.retries = getattr(args, "retries", 0)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
     faults_spec = getattr(args, "faults", None)
     try:
         faults = load_plan(faults_spec) if faults_spec is not None else None
@@ -325,6 +373,13 @@ def _execute(args: argparse.Namespace) -> int:
         progress=True,
         trace=trace_config,
         shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        run_timeout=args.run_timeout,
+        # --run-timeout doubles as the stall bound: a run that completes
+        # no quantum for the whole budget is wedged by definition.
+        stall_timeout=args.run_timeout,
+        retries=args.retries,
     )
 
     if args.command == "fig6":
@@ -363,6 +418,11 @@ def _execute(args: argparse.Namespace) -> int:
                 progress=True,
                 trace=trace_config,
                 shards=args.shards,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                run_timeout=args.run_timeout,
+                stall_timeout=args.run_timeout,
+                retries=args.retries,
             )
             extra_runners.append(created)
             return created
@@ -398,6 +458,11 @@ def _execute(args: argparse.Namespace) -> int:
                 faults=faults,
                 trace=trace_config,
                 shards=args.shards,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                run_timeout=args.run_timeout,
+                stall_timeout=args.run_timeout,
+                retries=args.retries,
             )
             extra_runners.append(transport_runner)
             workload = StreamWorkload()

@@ -9,22 +9,27 @@ speedup against the ground-truth run.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
+from repro.checkpoint import CheckpointConfig, CheckpointStore, MatrixJournal, restore_snapshot
 from repro.core.barrier import BarrierModel
 from repro.core.cluster import ClusterConfig, ClusterSimulator, RunResult
 from repro.core.quantum import QuantumPolicy
 from repro.engine.units import SimTime, format_time
 from repro.faults.plan import FaultPlan
 from repro.harness.configs import PolicySpec, ground_truth_policy
+from repro.harness.supervise import ProgressWatchdog, retry_transient
 from repro.metrics.traffic import TrafficTrace
 from repro.network.controller import NetworkController
 from repro.network.latency import PAPER_NETWORK, LatencyModel
 from repro.node.hostmodel import HostModelParams
 from repro.node.node import SimulatedNode
 from repro.node.transport import TransportConfig
-from repro.obs.collector import TraceCollector, TraceConfig
+from repro.obs.collector import TraceCollector, TraceConfig, run_slug
 from repro.shard import run_sharded
 from repro.workloads.base import Workload
 
@@ -91,6 +96,12 @@ class ExperimentRunner:
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceConfig] = None,
         shards: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every_quanta: Optional[int] = None,
+        resume: bool = False,
+        run_timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -106,6 +117,16 @@ class ExperimentRunner:
         #: Sharded results are bit-identical to serial, so this affects
         #: wall-clock only — never metrics, comparisons, or cache keys.
         self.shards = shards
+        #: Checkpoint/supervision knobs.  All of these are harness-level
+        #: robustness settings: restored runs are bit-identical to
+        #: uninterrupted ones, so — like ``check``/``trace``/``shards`` —
+        #: none of them participates in result caching.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every_quanta = checkpoint_every_quanta
+        self.resume = resume
+        self.run_timeout = run_timeout
+        self.stall_timeout = stall_timeout
+        self.retries = retries
         #: Why the most recent run degraded from the requested shard count
         #: to serial execution (None when sharding was off or succeeded) —
         #: the single-run analogue of ``ParallelRunner.last_fallback_reason``.
@@ -127,8 +148,86 @@ class ExperimentRunner:
         policy: QuantumPolicy,
         label: str = "",
     ) -> ExperimentRecord:
-        """Run *workload* on a fresh *size*-node cluster under *policy*."""
+        """Run *workload* on a fresh *size*-node cluster under *policy*.
+
+        When the runner carries supervision/checkpoint settings, the run
+        is executed under a :class:`ProgressWatchdog`, periodically
+        checkpointed, and — for transient failures only — retried with
+        exponential backoff, re-resuming from the latest snapshot.  None
+        of this changes the result: a supervised, checkpointed, resumed
+        run is bit-identical to a plain one.
+        """
+        run_label = label or policy.describe()
+        first_attempt = True
+
+        def attempt() -> ExperimentRecord:
+            nonlocal first_attempt
+            # A retry after a transient failure may resume from the
+            # snapshot the failed attempt left behind even when the
+            # caller did not ask for --resume: the work is this call's.
+            resume_ok = self.resume or not first_attempt
+            first_attempt = False
+            return self._run_once(workload, size, policy, run_label, resume_ok)
+
+        if self.retries:
+            return retry_transient(attempt, self.retries)
+        return attempt()
+
+    def _checkpoint_config(
+        self, workload: Workload, size: int, run_label: str
+    ) -> Optional[CheckpointConfig]:
+        """Per-run checkpoint settings, or None when checkpointing is off.
+
+        The snapshot ``key`` fingerprints everything that shapes simulator
+        state, so a stale snapshot from a different configuration is a
+        plain cache miss rather than a wrong resume.  ``check`` is
+        deliberately absent: snapshots are check-independent (the sanitizer
+        is re-synthesized on restore).
+        """
+        if self.checkpoint_dir is None:
+            return None
+        factory = self.latency_factory
+        factory_name = getattr(factory, "__name__", type(factory).__name__)
+        fingerprint = hashlib.sha256(
+            repr(
+                (
+                    self.seed,
+                    self.host_params,
+                    self.barrier,
+                    factory_name,
+                    self.timeline_bucket,
+                    self.record_traffic,
+                    self.transport,
+                    self.faults,
+                    self.trace,
+                )
+            ).encode()
+        ).hexdigest()[:16]
+        return CheckpointConfig(
+            directory=self.checkpoint_dir,
+            every_quanta=self.checkpoint_every_quanta,
+            label=run_slug(workload.name, size, run_label),
+            key=fingerprint,
+        )
+
+    def _run_once(
+        self,
+        workload: Workload,
+        size: int,
+        policy: QuantumPolicy,
+        run_label: str,
+        resume_ok: bool,
+    ) -> ExperimentRecord:
+        label = run_label
         trace = TrafficTrace(size) if self.record_traffic else None
+        checkpoint = self._checkpoint_config(workload, size, run_label)
+        watchdog: Optional[ProgressWatchdog] = None
+        if self.run_timeout is not None or self.stall_timeout is not None:
+            watchdog = ProgressWatchdog(
+                label=f"{workload.name} n={size} {run_label}",
+                run_timeout=self.run_timeout,
+                stall_timeout=self.stall_timeout,
+            )
 
         def build() -> ClusterSimulator:
             # A full fresh simulator per call: run_sharded may call this a
@@ -160,17 +259,48 @@ class ExperimentRunner:
                 faults=self.faults,
                 trace=trace_config,
                 shards=self.shards,
+                checkpoint=checkpoint,
             )
             simulator = ClusterSimulator(nodes, controller, policy, config)
             if trace is not None:
                 assert simulator.collector is not None
                 simulator.collector.add_packet_listener(trace.record)
+            if watchdog is not None:
+                simulator.supervision = watchdog.beat
             return simulator
 
-        outcome = run_sharded(build)
-        self.last_shard_fallback_reason = outcome.fallback_reason
-        result = outcome.result
-        simulator = outcome.simulator
+        snapshot = None
+        if checkpoint is not None and resume_ok:
+            snapshot = CheckpointStore(checkpoint.directory).load(
+                checkpoint.label, expect_key=checkpoint.key
+            )
+        if snapshot is not None:
+            # Resume path: rebuild the simulator, overwrite its state
+            # from the snapshot, and run it to completion serially (a
+            # restored run never re-enters the shard driver; sharded and
+            # serial execution are bit-identical anyway).
+            simulator = build()
+            restore_snapshot(simulator, snapshot)
+            if self.shards is not None:
+                self.last_shard_fallback_reason = (
+                    "checkpoint resume runs serially"
+                )
+            else:
+                self.last_shard_fallback_reason = None
+            if watchdog is not None:
+                result = watchdog.run(simulator.run)
+            else:
+                result = simulator.run()
+        elif watchdog is not None:
+            outcome = watchdog.run(lambda: run_sharded(build))
+            self.last_shard_fallback_reason = outcome.fallback_reason
+            result = outcome.result
+            simulator = outcome.simulator
+        else:
+            outcome = run_sharded(build)
+            self.last_shard_fallback_reason = outcome.fallback_reason
+            result = outcome.result
+            simulator = outcome.simulator
         collector = simulator.collector if self.trace is not None else None
         if collector is not None:
             collector.close()
@@ -272,31 +402,96 @@ class ExperimentRunner:
     ) -> ComparisonRow:
         return self.compare(workload, self.run_spec(workload, size, spec))
 
+    def _matrix_journal(
+        self, workload: Workload, journal: Union[MatrixJournal, str, Path, None]
+    ) -> Optional[MatrixJournal]:
+        """Resolve the journal argument (default: one file per workload
+        under the runner's checkpoint directory, when it has one)."""
+        if isinstance(journal, MatrixJournal):
+            return journal
+        if journal is not None:
+            return MatrixJournal(Path(journal))
+        if self.checkpoint_dir is not None:
+            root = Path(self.checkpoint_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            return MatrixJournal(root / f"{workload.name}.matrix.jsonl")
+        return None
+
     def run_matrix(
         self,
         workload: Workload,
         sizes: tuple[int, ...],
         specs: list[PolicySpec],
+        journal: Union[MatrixJournal, str, Path, None] = None,
+        resume: Optional[bool] = None,
     ) -> list[ComparisonRow]:
         """Every (size, policy) combination, compared to ground truth.
 
         The whole grid (including missing ground truths) is expressed as
         one :meth:`run_many` batch, so a parallel runner fans it out over
         worker processes in a single wave.
+
+        When a *journal* is available (passed explicitly, or derived from
+        the runner's ``checkpoint_dir``), every finished cell is recorded
+        in an append-only JSONL file as it completes; with *resume* (which
+        defaults to the runner's ``resume`` flag) previously journaled
+        cells are returned from the journal without recomputation, so a
+        killed matrix restarts from where it died.  Journaled rows are the
+        exact rows the original computation produced — a resumed matrix
+        report is byte-identical to an uninterrupted one.
         """
+        resume_rows = resume if resume is not None else self.resume
+        log = self._matrix_journal(workload, journal)
+        finished: dict[str, dict[str, object]] = {}
+        if log is not None and resume_rows:
+            finished = log.completed_rows()
+
+        def cell_key(size: int, spec: PolicySpec) -> str:
+            return f"{workload.name}/n{size}/{spec.label}"
+
         requests: list[tuple[Workload, int, PolicySpec]] = []
         injected: set[int] = set()
+        pending: dict[int, str] = {}
+        rows: dict[str, ComparisonRow] = {}
         for size in sizes:
-            if not self.has_ground_truth(workload, size):
+            todo = [s for s in specs if cell_key(size, s) not in finished]
+            if todo and not self.has_ground_truth(workload, size):
                 injected.add(len(requests))
                 requests.append((workload, size, ground_truth_policy()))
-            for spec in specs:
+            for spec in todo:
+                pending[len(requests)] = cell_key(size, spec)
                 requests.append((workload, size, spec))
-        records = self.run_many(requests)
+        if log is not None:
+            for key in pending.values():
+                log.start(key)
+        try:
+            records = self.run_many(requests)
+        except Exception as error:
+            if log is not None:
+                # A batch failure leaves every started cell unfinished;
+                # mark them failed so --resume knows to recompute them.
+                for key in pending.values():
+                    log.failed(key, repr(error))
+            raise
         for index in injected:
             self.adopt_ground_truth(workload, records[index])
-        return [
-            self.compare(workload, record)
-            for index, record in enumerate(records)
-            if index not in injected
-        ]
+        for index, record in enumerate(records):
+            if index in injected:
+                continue
+            row = self.compare(workload, record)
+            rows[pending[index]] = row
+            if log is not None:
+                log.done(pending[index], dataclasses.asdict(row))
+        if log is not None:
+            log.close()
+        out: list[ComparisonRow] = []
+        for size in sizes:
+            for spec in specs:
+                key = cell_key(size, spec)
+                if key in rows:
+                    out.append(rows[key])
+                else:
+                    # Rehydrated from the journal: the row the original
+                    # computation produced, field for field.
+                    out.append(ComparisonRow(**finished[key]))  # type: ignore[arg-type]
+        return out

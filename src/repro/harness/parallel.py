@@ -145,6 +145,17 @@ class RunnerSettings:
     # at any shard count share cache entries — and shards=1 keys stay
     # byte-identical to pre-shard harness versions.
     shards: Optional[int] = None
+    # Also absent from key_fragment(): checkpoints, resume, wall-clock
+    # deadlines, and retries are harness robustness knobs — a restored or
+    # supervised run is bit-identical to a plain one (the acceptance gate
+    # of repro.checkpoint), so fault-free cache keys stay byte-identical
+    # to pre-checkpoint harness versions.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_quanta: Optional[int] = None
+    resume: bool = False
+    run_timeout: Optional[float] = None
+    stall_timeout: Optional[float] = None
+    retries: int = 0
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -159,6 +170,12 @@ class RunnerSettings:
             faults=self.faults,
             trace=self.trace,
             shards=self.shards,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every_quanta=self.checkpoint_every_quanta,
+            resume=self.resume,
+            run_timeout=self.run_timeout,
+            stall_timeout=self.stall_timeout,
+            retries=self.retries,
         )
 
     @property
@@ -390,8 +407,15 @@ class DiskResultCache:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self._path(payload)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(body)
-            os.replace(tmp, path)  # atomic: concurrent workers never collide
+            # write + fsync + atomic rename: a crash (or SIGKILL) at any
+            # instant leaves either the old entry or the complete new one,
+            # never a torn file — the temp name is per-PID, so concurrent
+            # workers never collide either.
+            with open(tmp, "w") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
         except OSError:
             return False  # unwritable cache root: the run still succeeds
         return True
@@ -476,6 +500,12 @@ class ParallelRunner(ExperimentRunner):
         faults: Optional[FaultPlan] = None,
         trace: Optional[TraceConfig] = None,
         shards: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every_quanta: Optional[int] = None,
+        resume: bool = False,
+        run_timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
+        retries: int = 0,
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -494,6 +524,12 @@ class ParallelRunner(ExperimentRunner):
             faults=faults,
             trace=trace,
             shards=shards,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_quanta=checkpoint_every_quanta,
+            resume=resume,
+            run_timeout=run_timeout,
+            stall_timeout=stall_timeout,
+            retries=retries,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -507,6 +543,12 @@ class ParallelRunner(ExperimentRunner):
             faults=faults,
             trace=trace,
             shards=shards,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_quanta=checkpoint_every_quanta,
+            resume=resume,
+            run_timeout=run_timeout,
+            stall_timeout=stall_timeout,
+            retries=retries,
         )
         self.max_workers = max_workers
         self.progress = progress
@@ -659,24 +701,38 @@ class ParallelRunner(ExperimentRunner):
     ) -> list[int]:
         """Dispatch *pending* specs; returns indices needing serial retry.
 
-        A broken pool (a worker killed mid-run by the OOM killer or a
-        signal) is rebuilt **once** — only the still-unfinished runs are
-        resubmitted — before degrading to the serial path, so a single bad
-        worker cannot serialize a whole batch.
+        Failure handling distinguishes the two failure classes of
+        :func:`~repro.harness.supervise.is_transient`.  A broken pool (a
+        worker killed mid-run by the OOM killer or a signal) is
+        *transient*: the pool is rebuilt — only the still-unfinished runs
+        are resubmitted — with exponential backoff, ``1 + retries`` times,
+        before degrading to the serial path, so a single bad worker cannot
+        serialize a whole batch.  Deterministic simulation errors
+        (:class:`InvariantViolation`, a deadlock) propagate out of
+        :meth:`_pool_pass` immediately — re-running reproduces them
+        bit-identically, so retrying would only mask them.  Attempt counts
+        are surfaced through ``last_fallback_reason``.
         """
-        for attempt in range(2):
+        from repro.harness.supervise import BACKOFF_BASE_SECONDS
+
+        rebuilds = 1 + self.retries
+        for attempt in range(1 + rebuilds):
             remaining = [i for i in pending if records[i] is None]
             if not remaining:
                 return []
             done, survived = self._pool_pass(specs, remaining, records, workers, done, total)
             if survived:
                 return []
-            if attempt == 0:
+            if attempt < rebuilds:
+                delay = BACKOFF_BASE_SECONDS * (2**attempt)
                 self._note_fallback(
-                    "worker pool died mid-batch; rebuilding the pool once"
+                    f"worker pool died mid-batch (attempt "
+                    f"{attempt + 1}/{1 + rebuilds}); rebuilding in {delay:.1f}s"
                 )
+                time.sleep(delay)
         self._note_fallback(
-            "worker pool died twice; finishing the batch serially"
+            f"worker pool died {1 + rebuilds} times; "
+            "finishing the batch serially"
         )
         return [i for i in pending if records[i] is None]
 
@@ -702,9 +758,13 @@ class ParallelRunner(ExperimentRunner):
                     try:
                         index, record, wall = future.result()
                     except (BrokenProcessPool, pickle.PicklingError):
-                        # A worker died (OOM, signal) or a result cannot
-                        # cross the process boundary.  Everything not yet
-                        # gathered is retried by the caller.
+                        # Transient: a worker died (OOM, signal) or a
+                        # result cannot cross the process boundary.
+                        # Everything not yet gathered is retried by the
+                        # caller.  Any other exception — InvariantViolation,
+                        # DeadlockError, a RunTimeout whose in-worker
+                        # retries are already spent — propagates: those are
+                        # properties of the run, not the infrastructure.
                         return done, False
                     records[index] = record
                     done += 1

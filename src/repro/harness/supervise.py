@@ -1,0 +1,284 @@
+"""Supervised execution: wall-clock deadlines, hang detection, retries.
+
+The simulator core is wall-clock-free by construction (the determinism
+lint enforces it), so everything that reads a real clock lives here in
+the harness.  Three pieces:
+
+* :class:`RunTimeout` — a structured, picklable error carrying the last
+  quantum's diagnostics (simulated time, chosen window, quanta done,
+  elapsed wall seconds) so a timed-out run reports *where* it was, not
+  just that it died.
+* :class:`ProgressWatchdog` — a context manager whose :meth:`beat` is
+  installed as ``ClusterSimulator.supervision`` (one call per quantum).
+  It enforces a per-run wall-clock deadline at every beat, and a daemon
+  monitor thread catches the case beats cannot: a quantum that *never
+  completes* (an application spinning forever, a wedged syscall in an
+  exporter).  The monitor raises ``KeyboardInterrupt`` in the main
+  thread via :func:`_thread.interrupt_main`; the :meth:`run` wrapper
+  converts it to :class:`RunTimeout` when the watchdog fired and
+  re-raises real Ctrl-C untouched.
+* :func:`is_transient` / :func:`retry_transient` — the retry policy.
+  Transient failures (a killed worker, a timeout, a broken pool) are
+  retried with bounded exponential backoff; deterministic errors
+  (:class:`InvariantViolation`, :class:`RetryExhausted`,
+  :class:`DeadlockError` — re-running reproduces them bit-identically)
+  fail fast and are never retried.
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.engine.units import SimTime, format_time
+
+T = TypeVar("T")
+
+#: First retry delay; doubles per attempt.
+BACKOFF_BASE_SECONDS = 0.5
+
+#: Monitor thread poll ceiling (responsiveness vs. idle wakeups).
+_POLL_CAP_SECONDS = 0.25
+
+
+class RunTimeout(RuntimeError):
+    """A supervised run exceeded its wall-clock deadline or stalled.
+
+    Attributes:
+        reason: ``"deadline"`` (total wall budget spent) or ``"stall"``
+            (no quantum completed within the stall window).
+        label: run label, when the supervisor knew one.
+        sim_time: simulated time of the last completed quantum boundary.
+        window: the quantum window chosen at the last beat.
+        quanta: quanta completed under supervision.
+        elapsed: wall seconds from supervision start.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        label: str = "",
+        sim_time: SimTime = 0,
+        window: SimTime = 0,
+        quanta: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        prefix = f"{label}: " if label else ""
+        super().__init__(
+            f"{prefix}run {reason} after {elapsed:.1f}s wall time "
+            f"(sim_time={format_time(sim_time)}, Q={format_time(window)}, "
+            f"{quanta} quanta supervised)"
+        )
+        self.reason = reason
+        self.label = label
+        self.sim_time = sim_time
+        self.window = window
+        self.quanta = quanta
+        self.elapsed = elapsed
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Keyword-only attributes need explicit pickle support so the
+        # error crosses the experiment farm's process boundary intact.
+        return (
+            _rebuild_timeout,
+            (
+                self.reason,
+                self.label,
+                self.sim_time,
+                self.window,
+                self.quanta,
+                self.elapsed,
+            ),
+        )
+
+
+def _rebuild_timeout(
+    reason: str,
+    label: str,
+    sim_time: SimTime,
+    window: SimTime,
+    quanta: int,
+    elapsed: float,
+) -> RunTimeout:
+    return RunTimeout(
+        reason,
+        label=label,
+        sim_time=sim_time,
+        window=window,
+        quanta=quanta,
+        elapsed=elapsed,
+    )
+
+
+class ProgressWatchdog:
+    """Per-run wall-clock deadline + no-progress (hang) detection.
+
+    Use as a context manager around ``sim.run()`` with ``sim.supervision
+    = watchdog.beat``.  ``run_timeout`` bounds the whole run;
+    ``stall_timeout`` bounds the gap between quantum completions.  Either
+    may be None.  The monitor thread exists only while the context is
+    active and only when a bound is set.
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        run_timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
+    ) -> None:
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run timeout must be positive")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError("stall timeout must be positive")
+        self.label = label
+        self.run_timeout = run_timeout
+        self.stall_timeout = stall_timeout
+        #: Set by the monitor just before it interrupts the main thread.
+        self.fired: Optional[str] = None
+        self._start = 0.0
+        self._last_beat = 0.0
+        self._sim_time: SimTime = 0
+        self._window: SimTime = 0
+        self._quanta = 0
+        self._stop: Optional[threading.Event] = None
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- context management --------------------------------------------- #
+
+    def __enter__(self) -> "ProgressWatchdog":
+        self._start = time.monotonic()
+        self._last_beat = self._start
+        self.fired = None
+        if self.run_timeout is not None or self.stall_timeout is not None:
+            self._stop = threading.Event()
+            self._monitor = threading.Thread(
+                target=self._watch, name=f"watchdog:{self.label or 'run'}",
+                daemon=True,
+            )
+            self._monitor.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._stop is not None:
+            self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join()
+        self._stop = None
+        self._monitor = None
+
+    # -- the simulator-facing hook -------------------------------------- #
+
+    def beat(self, now: SimTime, window: SimTime) -> None:
+        """One quantum boundary passed (installed as ``sim.supervision``)."""
+        beat_at = time.monotonic()
+        self._last_beat = beat_at
+        self._sim_time = now
+        self._window = window
+        self._quanta += 1
+        if self.run_timeout is not None and beat_at - self._start >= self.run_timeout:
+            raise self.timeout_error("deadline")
+
+    def timeout_error(self, reason: str) -> RunTimeout:
+        return RunTimeout(
+            reason,
+            label=self.label,
+            sim_time=self._sim_time,
+            window=self._window,
+            quanta=self._quanta,
+            elapsed=time.monotonic() - self._start,
+        )
+
+    # -- supervised execution ------------------------------------------- #
+
+    def run(self, fn: Callable[[], T]) -> T:
+        """Run *fn* under this watchdog, converting interrupts.
+
+        A ``KeyboardInterrupt`` raised because the monitor fired becomes
+        the structured :class:`RunTimeout`; a real Ctrl-C re-raises.
+        """
+        with self:
+            try:
+                return fn()
+            except KeyboardInterrupt:
+                if self.fired is not None:
+                    raise self.timeout_error(self.fired) from None
+                raise
+
+    # -- the monitor thread --------------------------------------------- #
+
+    def _poll_interval(self) -> float:
+        bounds = [b for b in (self.run_timeout, self.stall_timeout) if b is not None]
+        return max(0.01, min(_POLL_CAP_SECONDS, min(bounds) / 4))
+
+    def _watch(self) -> None:
+        assert self._stop is not None
+        interval = self._poll_interval()
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            if self.run_timeout is not None and now - self._start >= self.run_timeout:
+                self.fired = "deadline"
+            elif (
+                self.stall_timeout is not None
+                and now - self._last_beat >= self.stall_timeout
+            ):
+                self.fired = "stall"
+            else:
+                continue
+            # Interrupt even mid-quantum: the simulation loop is pure
+            # Python bytecode, so KeyboardInterrupt lands promptly.
+            _thread.interrupt_main()
+            return
+
+
+# --------------------------------------------------------------------- #
+# Transient-vs-deterministic failure classification and retry
+# --------------------------------------------------------------------- #
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether re-running after *error* can plausibly succeed.
+
+    Transient: the environment failed (a worker was killed, the pool
+    broke, a wall-clock budget ran out on a loaded machine).  Everything
+    else — in particular :class:`InvariantViolation`,
+    :class:`~repro.node.transport.RetryExhausted`, and
+    :class:`~repro.core.cluster.DeadlockError` — is a deterministic
+    property of the configuration: a retry reproduces it bit-identically,
+    so it must fail fast.
+    """
+    from repro.shard.driver import WorkerFailure
+
+    return isinstance(error, (RunTimeout, BrokenProcessPool, WorkerFailure))
+
+
+def retry_transient(
+    fn: Callable[[], T],
+    retries: int,
+    *,
+    base_delay: float = BACKOFF_BASE_SECONDS,
+    on_retry: Optional[Callable[[BaseException, int, float], None]] = None,
+) -> T:
+    """Call *fn*, retrying transient failures with exponential backoff.
+
+    Deterministic errors propagate immediately.  After *retries*
+    transient failures the last error propagates.  ``on_retry(error,
+    attempt, delay)`` is invoked before each sleep (progress reporting).
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as error:
+            if not is_transient(error) or attempt >= retries:
+                raise
+            delay = base_delay * (2**attempt)
+            attempt += 1
+            if on_retry is not None:
+                on_retry(error, attempt, delay)
+            time.sleep(delay)

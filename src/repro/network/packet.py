@@ -37,6 +37,20 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
+def packet_id_position() -> int:
+    """The id the next packet will receive (non-destructive peek)."""
+    global _packet_ids
+    position = next(_packet_ids)
+    _packet_ids = itertools.count(position)
+    return position
+
+
+def set_packet_ids(position: int) -> None:
+    """Continue the counter from *position* (checkpoint restore helper)."""
+    global _packet_ids
+    _packet_ids = itertools.count(position)
+
+
 @dataclass(slots=True)
 class Packet:
     """A link-layer frame in flight.

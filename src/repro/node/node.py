@@ -115,6 +115,14 @@ class SimulatedNode:
         #: Driver-installed trace collector (None when the run is untraced;
         #: every hook site pays one ``is None`` test).
         self.collector: Optional["TraceCollector"] = None
+        #: When checkpointing is enabled the driver sets this to a list and
+        #: every value ever sent into the application generator (``None``
+        #: compute wakes, received messages) is appended — the generator
+        #: itself cannot be pickled, but replaying this input log into a
+        #: fresh generator rebuilds its state exactly (see
+        #: :mod:`repro.checkpoint.snapshot`).  ``None`` costs one test per
+        #: application step.
+        self.app_log: Optional[list[Any]] = None
 
     def _set_activity(self, now: SimTime, activity: str) -> None:
         if activity == self.activity:
@@ -231,6 +239,8 @@ class SimulatedNode:
     # ------------------------------------------------------------------ #
 
     def _advance_app(self, now: SimTime, value: Any) -> None:
+        if self.app_log is not None:
+            self.app_log.append(value)
         try:
             request = self.process.step(value)
         except ProcessExit as exit_:

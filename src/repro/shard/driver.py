@@ -133,6 +133,17 @@ def _ineligible_reason(sim: ClusterSimulator) -> Optional[str]:
         )
     if sim.config.sampling is not None:
         return "sampled host models keep the serial stepper"
+    if sim.config.checkpoint is not None:
+        return (
+            "checkpointed runs keep the serial stepper (a snapshot is a "
+            "complete cut of one process's state; sharded and serial "
+            "execution are bit-identical, so nothing is lost)"
+        )
+    if sim.supervision is not None:
+        return (
+            "supervised runs keep the serial stepper (the watchdog beat "
+            "must observe every quantum boundary in the supervised process)"
+        )
     min_latency = sim.controller.latency_model.min_latency()
     if sim.policy.max_quantum > min_latency:
         return (
@@ -656,6 +667,25 @@ def _collect_result(
 # --------------------------------------------------------------------- #
 
 
+def _worker_recv(conn: Any) -> Optional[tuple]:
+    """One parent command, or None when the parent is gone.
+
+    The worker-side mirror of the parent's :func:`_recv`: never a bare
+    blocking ``recv`` — every wait polls with a bounded timeout and
+    probes parent liveness, so an orphaned worker (the parent was
+    SIGKILLed and its atexit cleanup never ran) exits within seconds
+    instead of blocking on the pipe forever.
+    """
+    parent = multiprocessing.parent_process()
+    while not conn.poll(_POLL_INTERVAL):
+        if parent is not None and not parent.is_alive():
+            return None
+    try:
+        return conn.recv()  # type: ignore[no-any-return]
+    except (EOFError, OSError):
+        return None
+
+
 def _slice_quiescent(nodes: list[SimulatedNode]) -> bool:
     """The shard-local half of ``ClusterSimulator._done``."""
     for node in nodes:
@@ -702,7 +732,9 @@ def _shard_worker(
         low = span.start
         window: tuple[SimTime, SimTime] = (0, 0)
         while True:
-            command = conn.recv()
+            command = _worker_recv(conn)
+            if command is None:
+                break  # the parent (mediator) died; don't block forever
             op = command[0]
             if op == _WINDOW:
                 _, start, end, host_start, deliveries = command

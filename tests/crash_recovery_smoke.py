@@ -1,0 +1,135 @@
+"""Crash-recovery smoke: SIGKILL a matrix mid-flight, resume, compare.
+
+Not a pytest module (pytest collects ``test_*.py`` only) — CI runs this
+directly. The scenario is the one the checkpoint subsystem exists for:
+
+1. compute a reference report for a small experiment matrix;
+2. start the same matrix in a child process with ``--checkpoint-dir``
+   semantics, wait until its journal shows real progress, and SIGKILL it;
+3. rerun with ``resume=True`` in a fresh process;
+4. require the resumed report to be **byte-identical** to the reference.
+
+Exit status 0 means the recovery path held; any assertion or crash is a
+CI failure.
+
+Usage: ``PYTHONPATH=src python tests/crash_recovery_smoke.py [workdir]``
+(the victim-process entry point ``victim <dir>`` is internal).
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import FixedQuantumPolicy
+from repro.core.quantum import AdaptiveQuantumPolicy
+from repro.engine.units import MICROSECOND
+from repro.harness.configs import PolicySpec
+from repro.harness.experiment import ExperimentRunner
+from repro.workloads import IsWorkload
+
+US = MICROSECOND
+
+SIZES = (2, 4, 8, 16, 32)
+
+
+def workload():
+    return IsWorkload(total_keys=2**17, iterations=3, ops_per_key=24)
+
+
+def specs():
+    return [
+        PolicySpec("Q=10us", lambda: FixedQuantumPolicy(10 * US)),
+        PolicySpec("Q=100us", lambda: FixedQuantumPolicy(100 * US)),
+        PolicySpec("dyn", lambda: AdaptiveQuantumPolicy(5 * US, 1000 * US)),
+    ]
+
+
+def run_matrix(checkpoint_dir=None, resume=False):
+    runner = ExperimentRunner(
+        seed=42,
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+        resume=resume,
+    )
+    return runner.run_matrix(workload(), SIZES, specs())
+
+
+def report_bytes(rows):
+    payload = [dataclasses.asdict(row) for row in rows]
+    return json.dumps(payload, sort_keys=True, indent=1).encode()
+
+
+def victim(checkpoint_dir):
+    """Child entry point: run the journaled matrix until killed.
+
+    The victim journals wave by wave (one ``run_matrix`` call per
+    cluster size, appending to one shared journal) the way a long
+    campaign runs, so the parent's SIGKILL lands between waves and
+    leaves a journal that is genuinely partial — finished sizes
+    recorded, later sizes not."""
+    runner = ExperimentRunner(seed=42, checkpoint_dir=str(checkpoint_dir))
+    for size in SIZES:
+        runner.run_matrix(workload(), (size,), specs())
+
+
+def wait_for_progress(journal, deadline=120.0):
+    """Block until the victim journals at least one finished cell (or the
+    whole matrix finished fast — then the kill is a no-op and resume
+    degenerates to pure journal replay, which must still be identical)."""
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        try:
+            lines = journal.read_text().splitlines()
+        except OSError:
+            lines = []
+        if any('"event":"done"' in line for line in lines):
+            return
+        time.sleep(0.01)
+    raise SystemExit(f"victim made no journaled progress within {deadline}s")
+
+
+def main(workdir):
+    checkpoint_dir = Path(workdir) / "ckpt"
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    journal = checkpoint_dir / f"{workload().name}.matrix.jsonl"
+
+    print("[1/4] computing the uninterrupted reference report...")
+    reference = report_bytes(run_matrix())
+
+    print("[2/4] starting the victim matrix, then SIGKILL mid-flight...")
+    child = subprocess.Popen(
+        [sys.executable, __file__, "victim", str(checkpoint_dir)],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        wait_for_progress(journal)
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait()
+    done = sum(
+        1 for line in journal.read_text().splitlines() if '"event":"done"' in line
+    )
+    print(f"      victim killed; journal holds {done} finished cell(s)")
+
+    print("[3/4] resuming the matrix from the journal...")
+    resumed = report_bytes(run_matrix(checkpoint_dir=checkpoint_dir, resume=True))
+
+    print("[4/4] comparing reports...")
+    assert resumed == reference, (
+        "resumed matrix report differs from the uninterrupted reference "
+        f"({len(resumed)} vs {len(reference)} bytes)"
+    )
+    print(f"OK: resumed report is byte-identical ({len(reference)} bytes)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "victim":
+        victim(sys.argv[2])
+    else:
+        main(sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp())

@@ -288,7 +288,7 @@ class TestPoolRobustness:
         assert os.path.exists(sentinel)  # a worker really was killed
         assert len(records) == 3 and all(r is not None for r in records)
         assert runner.last_fallback_reason == (
-            "worker pool died mid-batch; rebuilding the pool once"
+            "worker pool died mid-batch (attempt 1/2); rebuilding in 0.5s"
         )
         expected = ParallelRunner(seed=SEED, max_workers=1, use_cache=False).run_many(
             self._requests(KamikazeWorkload, specs)
@@ -302,7 +302,7 @@ class TestPoolRobustness:
         records = runner.run_many(self._requests(KamikazeWorkload, specs))
         assert len(records) == 2 and all(r is not None for r in records)
         assert runner.last_fallback_reason == (
-            "worker pool died twice; finishing the batch serially"
+            "worker pool died 2 times; finishing the batch serially"
         )
         assert any(
             source == "serial-fallback"

@@ -1,0 +1,216 @@
+"""Supervised execution: deadlines, hang detection, retry policy."""
+
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.analysis.invariants import InvariantViolation
+from repro.core import (
+    ClusterConfig,
+    ClusterSimulator,
+    DeadlockError,
+    FixedQuantumPolicy,
+)
+from repro.engine.units import MICROSECOND
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.supervise import (
+    ProgressWatchdog,
+    RunTimeout,
+    is_transient,
+    retry_transient,
+)
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import ComputeTime, Recv, Send, SimulatedNode
+from repro.shard.driver import WorkerFailure
+from repro.workloads import PingPongWorkload
+
+US = MICROSECOND
+
+
+def pingpong_apps(rounds):
+    def pinger():
+        for _ in range(rounds):
+            yield Send(dst=1, nbytes=64)
+            yield Recv(src=1)
+            yield ComputeTime(50 * US)
+
+    def ponger():
+        for _ in range(rounds):
+            yield Recv(src=0)
+            yield Send(dst=0, nbytes=64)
+
+    return [pinger(), ponger()]
+
+
+def build_sim():
+    nodes = [SimulatedNode(i, a) for i, a in enumerate(pingpong_apps(10))]
+    return ClusterSimulator(
+        nodes,
+        NetworkController(2, PAPER_NETWORK(2)),
+        FixedQuantumPolicy(10 * US),
+        ClusterConfig(seed=7),
+    )
+
+
+class TestRunTimeout:
+    def test_message_carries_diagnostics(self):
+        error = RunTimeout(
+            "deadline",
+            label="IS n=8",
+            sim_time=123_000,
+            window=10_000,
+            quanta=42,
+            elapsed=7.5,
+        )
+        text = str(error)
+        assert "IS n=8" in text
+        assert "deadline" in text
+        assert "42 quanta" in text
+
+    def test_pickles_across_process_boundaries(self):
+        error = RunTimeout(
+            "stall",
+            label="x",
+            sim_time=5,
+            window=7,
+            quanta=9,
+            elapsed=1.25,
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, RunTimeout)
+        assert (clone.reason, clone.label, clone.sim_time) == ("stall", "x", 5)
+        assert (clone.window, clone.quanta, clone.elapsed) == (7, 9, 1.25)
+
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError):
+            ProgressWatchdog(run_timeout=0)
+        with pytest.raises(ValueError):
+            ProgressWatchdog(stall_timeout=-1)
+
+
+class TestProgressWatchdog:
+    def test_deadline_fires_with_last_quantum_diagnostics(self):
+        watchdog = ProgressWatchdog(label="t", run_timeout=0.01)
+
+        def body():
+            watchdog.beat(500, 10)  # within budget
+            time.sleep(0.05)
+            watchdog.beat(600, 10)  # over budget — beat itself raises
+            raise AssertionError("deadline never enforced")
+
+        with pytest.raises(RunTimeout) as excinfo:
+            watchdog.run(body)
+        assert excinfo.value.reason == "deadline"
+        # Either the monitor interrupted the sleep (sim_time from the
+        # first beat) or the second beat noticed the spent budget.
+        assert excinfo.value.sim_time in (500, 600)
+        assert excinfo.value.window == 10
+        assert excinfo.value.elapsed > 0
+
+    def test_monitor_interrupts_a_stalled_run(self):
+        watchdog = ProgressWatchdog(label="t", stall_timeout=0.05)
+        with pytest.raises(RunTimeout) as excinfo:
+            watchdog.run(lambda: time.sleep(5.0))
+        assert excinfo.value.reason == "stall"
+
+    def test_real_ctrl_c_is_not_converted(self):
+        watchdog = ProgressWatchdog(label="t", run_timeout=60.0)
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            watchdog.run(interrupted)
+
+    def test_no_bounds_means_no_monitor_thread(self):
+        watchdog = ProgressWatchdog(label="t")
+        with watchdog:
+            assert watchdog._monitor is None
+            watchdog.beat(0, 10)  # never raises
+
+
+class TestSupervisionHook:
+    def test_beat_called_once_per_event_quantum(self):
+        beats = []
+        sim = build_sim()
+        sim.supervision = lambda now, window: beats.append((now, window))
+        result = sim.run()
+        assert result.completed
+        assert len(beats) >= result.quantum_stats.quanta - sim.perf.ff_quanta
+        # Simulated time at the beats is monotonically non-decreasing.
+        times = [now for now, _ in beats]
+        assert times == sorted(times)
+
+    def test_supervision_changes_no_result_bit(self):
+        import dataclasses
+
+        plain = build_sim().run()
+        supervised_sim = build_sim()
+        supervised_sim.supervision = lambda now, window: None
+        supervised = supervised_sim.run()
+        assert dataclasses.asdict(plain) == dataclasses.asdict(supervised)
+
+    def test_runner_deadline_raises_structured_timeout(self):
+        runner = ExperimentRunner(seed=3, run_timeout=1e-6)
+        with pytest.raises(RunTimeout) as excinfo:
+            runner.run(PingPongWorkload(), 2, FixedQuantumPolicy(10 * US))
+        assert excinfo.value.reason == "deadline"
+        assert excinfo.value.quanta >= 1
+
+
+class TestRetryPolicy:
+    def test_transient_classification(self):
+        assert is_transient(RunTimeout("deadline"))
+        assert is_transient(BrokenProcessPool())
+        assert is_transient(WorkerFailure("worker 3 died"))
+        assert not is_transient(InvariantViolation("rule", "detail"))
+        assert not is_transient(DeadlockError("stuck"))
+        assert not is_transient(ValueError("config"))
+
+    def test_transient_failures_retry_with_backoff(self):
+        calls = []
+        delays = []
+
+        def flaky():
+            calls.append(None)
+            if len(calls) < 3:
+                raise RunTimeout("deadline")
+            return "done"
+
+        result = retry_transient(
+            flaky,
+            retries=5,
+            base_delay=0.001,
+            on_retry=lambda error, attempt, delay: delays.append(delay),
+        )
+        assert result == "done"
+        assert len(calls) == 3
+        assert delays == [0.001, 0.002]  # exponential
+
+    def test_deterministic_errors_fail_fast(self):
+        calls = []
+
+        def deterministic():
+            calls.append(None)
+            raise InvariantViolation("rule", "same bits every time")
+
+        with pytest.raises(InvariantViolation):
+            retry_transient(deterministic, retries=5, base_delay=0.001)
+        assert len(calls) == 1
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        calls = []
+
+        def always_transient():
+            calls.append(None)
+            raise RunTimeout("stall")
+
+        with pytest.raises(RunTimeout):
+            retry_transient(always_transient, retries=2, base_delay=0.001)
+        assert len(calls) == 3  # initial attempt + 2 retries
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_transient(lambda: None, retries=-1)
