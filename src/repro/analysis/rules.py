@@ -66,6 +66,7 @@ SIM_CORE_PACKAGES = frozenset(
         "obs",
         "shard",
         "checkpoint",
+        "service",
     }
 )
 

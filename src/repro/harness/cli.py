@@ -10,6 +10,7 @@ Regenerates any of the paper's figures or tables from the terminal::
     repro-cluster sweep --workload IS
     repro-cluster fig6 --faults lossy-1   # same matrix over a lossy fabric
     repro-cluster sec6 --case IS --trace traces/ --trace-diff
+    repro-cluster service --rate 20000 --requests 2000 --slo-us 200
 """
 
 from __future__ import annotations
@@ -215,7 +216,50 @@ def _parser() -> argparse.ArgumentParser:
         parents=[common],
     )
     sampling.add_argument("--detail-fraction", type=float, default=0.2)
+
+    service = sub.add_parser(
+        "service",
+        help="open-loop request serving: latency percentiles and SLO "
+        "misses vs quantum policy",
+        parents=[common],
+    )
+    service.add_argument("--size", type=int, default=8, help="cluster size "
+                         "(rank 0 is the feeder/sink, the rest are servers)")
+    service.add_argument("--rate", type=float, default=20_000.0,
+                         help="arrival rate, requests per simulated second")
+    service.add_argument("--requests", type=int, default=2_000,
+                         help="total requests the feeder issues")
+    service.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                         help="sinusoidal rate modulation depth in [0, 1]")
+    service.add_argument("--diurnal-period-ms", type=float, default=1000.0,
+                         help="diurnal period, simulated milliseconds")
+    service.add_argument("--burst", action="append", default=[],
+                         metavar="START_MS:END_MS:FACTOR",
+                         help="multiply the arrival rate by FACTOR in "
+                         "[START_MS, END_MS) simulated ms; repeatable")
+    service.add_argument("--slo-us", type=float, default=200.0,
+                         help="latency SLO, simulated microseconds")
+    service.add_argument("--tiers", default="1:2:4",
+                         help="service tier width weights, colon-separated")
+    service.add_argument("--fanout", type=int, default=2,
+                         help="downstream fan-out per request per tier")
     return parser
+
+
+def _parse_burst(spec: str):
+    from repro.service import BurstWindow
+
+    try:
+        start_ms, end_ms, factor = spec.split(":")
+        return BurstWindow(
+            start=int(float(start_ms) * MILLISECOND),
+            end=int(float(end_ms) * MILLISECOND),
+            factor=float(factor),
+        )
+    except ValueError as error:
+        raise SystemExit(
+            f"invalid --burst {spec!r} (expected START_MS:END_MS:FACTOR): {error}"
+        ) from error
 
 
 def _scaleout(case: str):
@@ -477,10 +521,65 @@ def _execute(args: argparse.Namespace) -> int:
                              times(row.exec_time_ratio, 2)])
         print(format_table(["transport", "quantum", "error", "dilation"], rows,
                            "Transport feedback (bulk stream, 2 nodes)"))
+    elif args.command == "service":
+        from repro.harness.configs import paper_policies
+        from repro.harness.report import (
+            format_table,
+            percent,
+            service_report,
+            times,
+        )
+        from repro.service import ArrivalProfile, ServiceWorkload
+
+        try:
+            weights = tuple(int(part) for part in args.tiers.split(":"))
+        except ValueError as error:
+            raise SystemExit(f"invalid --tiers {args.tiers!r}: {error}") from error
+        profile = ArrivalProfile(
+            rate_per_sec=args.rate,
+            num_requests=args.requests,
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period=int(args.diurnal_period_ms * MILLISECOND),
+            bursts=tuple(_parse_burst(spec) for spec in args.burst),
+        )
+        workload = ServiceWorkload(
+            profile=profile,
+            tier_weights=weights,
+            fanout=args.fanout,
+            slo_ns=int(args.slo_us * 1000),
+        )
+        print(f"[service] {workload.describe()}", file=sys.stderr)
+        truth = runner.ground_truth(workload, args.size)
+        stats_rows = [
+            (f"{GROUND_TRUTH_LABEL} (truth)", workload.service_summary(truth.result))
+        ]
+        rows = []
+        for spec in paper_policies():
+            record = runner.run_spec(workload, args.size, spec)
+            row = runner.compare(workload, record)
+            stats = workload.service_summary(record.result)
+            stats_rows.append((spec.label, stats))
+            rows.append([
+                spec.label,
+                f"{row.metric:.1f}us",
+                percent(row.accuracy_error),
+                percent(stats.slo_miss_rate),
+                times(row.speedup, 2),
+                times(row.exec_time_ratio, 2),
+            ])
+        truth_p = workload.metric(truth.result)
+        print(format_table(
+            ["quantum", "p99", "p99 error", "SLO miss", "speedup", "dilation"],
+            rows,
+            f"Open-loop service at {args.size} nodes "
+            f"(ground truth p99 {truth_p:.1f}us)",
+        ))
+        print()
+        print(service_report(stats_rows))
     elif args.command == "sampling":
         from repro.core import ClusterConfig, ClusterSimulator
         from repro.core.quantum import AdaptiveQuantumPolicy, FixedQuantumPolicy
-        from repro.engine.units import MICROSECOND, MILLISECOND
+        from repro.engine.units import MICROSECOND
         from repro.harness.report import format_table, times
         from repro.network import NetworkController, PAPER_NETWORK
         from repro.node import SimulatedNode

@@ -227,6 +227,7 @@ class ExperimentRunner:
                 label=f"{workload.name} n={size} {run_label}",
                 run_timeout=self.run_timeout,
                 stall_timeout=self.stall_timeout,
+                progress=workload.progress_summary,
             )
 
         def build() -> ClusterSimulator:
@@ -267,6 +268,9 @@ class ExperimentRunner:
                 simulator.collector.add_packet_listener(trace.record)
             if watchdog is not None:
                 simulator.supervision = watchdog.beat
+            # Offer the collector to workloads that emit application-level
+            # trace events (the service workload's request lifecycle).
+            workload.attach_trace(simulator.collector)
             return simulator
 
         snapshot = None
@@ -280,7 +284,12 @@ class ExperimentRunner:
             # restored run never re-enters the shard driver; sharded and
             # serial execution are bit-identical anyway).
             simulator = build()
+            # Replaying the checkpoint's application log re-runs program
+            # side effects; detach the trace for the replay so replayed
+            # request events are not re-emitted, then re-attach.
+            workload.attach_trace(None)
             restore_snapshot(simulator, snapshot)
+            workload.attach_trace(simulator.collector)
             if self.shards is not None:
                 self.last_shard_fallback_reason = (
                     "checkpoint resume runs serially"
@@ -305,12 +314,14 @@ class ExperimentRunner:
         if collector is not None:
             collector.close()
         if not result.completed:
+            progress = workload.progress_summary()
+            progress_note = f" (app progress: {progress})" if progress else ""
             raise RuntimeError(
                 f"{workload.name} at {size} nodes under {label or policy.describe()} "
                 f"hit the simulated-time limit (reached sim_time="
                 f"{format_time(result.sim_time)} of sim_time_limit="
-                f"{format_time(simulator.config.sim_time_limit)}); raise "
-                f"ClusterConfig.sim_time_limit or shrink the workload"
+                f"{format_time(simulator.config.sim_time_limit)}){progress_note}; "
+                f"raise ClusterConfig.sim_time_limit or shrink the workload"
             )
         record = ExperimentRecord(
             workload_name=workload.name,

@@ -98,6 +98,10 @@ def _jsonable(value: Any) -> Any:
         return [_jsonable(item) for item in value]
     if isinstance(value, dict):
         return {str(key): _jsonable(item) for key, item in value.items()}
+    # Nested config dataclasses (ArrivalProfile, TierModel, ...) serialize
+    # by value so they participate in cache keys like scalar parameters.
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
     # numpy scalars (np.int64 lengths, np.float64 draws) leak into stats.
     item = getattr(value, "item", None)
     if callable(item) and type(value).__module__.startswith("numpy"):
@@ -111,7 +115,12 @@ def _describe_component(obj: Any) -> dict:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         payload["params"] = _jsonable(dataclasses.asdict(obj))
     else:
-        payload["params"] = _jsonable(vars(obj))
+        # Underscore attributes are derived per-run state (the service
+        # workload's arrival array and query manager), not configuration:
+        # identity is the public constructor surface only.
+        payload["params"] = _jsonable(
+            {key: value for key, value in vars(obj).items() if not key.startswith("_")}
+        )
     return payload
 
 

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cluster import RunResult
+    from repro.service.metrics import ServiceStats
 
 
 def display_width(text: str) -> int:
@@ -106,3 +107,30 @@ def fault_report(results: Iterable[tuple[str, "RunResult"]]) -> str:
         rows,
         "Fault injection and transport recovery",
     )
+
+
+def service_report(results: Iterable[tuple[str, "ServiceStats"]]) -> str:
+    """Table of per-run service latency percentiles and SLO misses.
+
+    Accepts ``(label, stats)`` pairs; a run that completed no requests
+    renders dashes for the latency columns.  Returns an empty string for
+    an empty input, so callers can append it unconditionally.
+    """
+    pairs = list(results)
+    if not pairs:
+        return ""
+    points = sorted({point for _, stats in pairs for point in stats.percentiles})
+    rows = []
+    for label, stats in pairs:
+        if stats.completed == 0:
+            cells: list[object] = [f"0/{stats.issued}", *(["-"] * (len(points) + 2))]
+        else:
+            cells = [
+                f"{stats.completed}/{stats.issued}",
+                *(microseconds(stats.percentiles[point]) for point in points),
+                microseconds(stats.mean_latency_ns),
+                percent(stats.slo_miss_rate),
+            ]
+        rows.append([label, *cells])
+    headers = ["run", "completed", *(f"p{point:g}" for point in points), "mean", "SLO miss"]
+    return format_table(headers, rows, "Service latency and SLO")

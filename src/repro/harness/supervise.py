@@ -55,6 +55,8 @@ class RunTimeout(RuntimeError):
         window: the quantum window chosen at the last beat.
         quanta: quanta completed under supervision.
         elapsed: wall seconds from supervision start.
+        detail: extra application progress (e.g. an open-loop workload's
+            "N requests issued, M in flight"), empty when unknown.
     """
 
     def __init__(
@@ -66,12 +68,14 @@ class RunTimeout(RuntimeError):
         window: SimTime = 0,
         quanta: int = 0,
         elapsed: float = 0.0,
+        detail: str = "",
     ) -> None:
         prefix = f"{label}: " if label else ""
+        suffix = f"; {detail}" if detail else ""
         super().__init__(
             f"{prefix}run {reason} after {elapsed:.1f}s wall time "
             f"(sim_time={format_time(sim_time)}, Q={format_time(window)}, "
-            f"{quanta} quanta supervised)"
+            f"{quanta} quanta supervised{suffix})"
         )
         self.reason = reason
         self.label = label
@@ -79,6 +83,7 @@ class RunTimeout(RuntimeError):
         self.window = window
         self.quanta = quanta
         self.elapsed = elapsed
+        self.detail = detail
 
     def __reduce__(self) -> tuple[Any, ...]:
         # Keyword-only attributes need explicit pickle support so the
@@ -92,6 +97,7 @@ class RunTimeout(RuntimeError):
                 self.window,
                 self.quanta,
                 self.elapsed,
+                self.detail,
             ),
         )
 
@@ -103,6 +109,7 @@ def _rebuild_timeout(
     window: SimTime,
     quanta: int,
     elapsed: float,
+    detail: str = "",
 ) -> RunTimeout:
     return RunTimeout(
         reason,
@@ -111,6 +118,7 @@ def _rebuild_timeout(
         window=window,
         quanta=quanta,
         elapsed=elapsed,
+        detail=detail,
     )
 
 
@@ -129,6 +137,7 @@ class ProgressWatchdog:
         label: str = "",
         run_timeout: Optional[float] = None,
         stall_timeout: Optional[float] = None,
+        progress: Optional[Callable[[], Optional[str]]] = None,
     ) -> None:
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError("run timeout must be positive")
@@ -137,6 +146,11 @@ class ProgressWatchdog:
         self.label = label
         self.run_timeout = run_timeout
         self.stall_timeout = stall_timeout
+        #: Optional application-progress probe (e.g.
+        #: ``Workload.progress_summary``); consulted when building the
+        #: timeout error so diagnostics show open-loop progress, not just
+        #: simulated time.
+        self.progress = progress
         #: Set by the monitor just before it interrupts the main thread.
         self.fired: Optional[str] = None
         self._start = 0.0
@@ -183,6 +197,12 @@ class ProgressWatchdog:
             raise self.timeout_error("deadline")
 
     def timeout_error(self, reason: str) -> RunTimeout:
+        detail = ""
+        if self.progress is not None:
+            try:
+                detail = self.progress() or ""
+            except Exception:  # diagnostics must never mask the timeout
+                detail = ""
         return RunTimeout(
             reason,
             label=self.label,
@@ -190,6 +210,7 @@ class ProgressWatchdog:
             window=self._window,
             quanta=self._quanta,
             elapsed=time.monotonic() - self._start,
+            detail=detail,
         )
 
     # -- supervised execution ------------------------------------------- #

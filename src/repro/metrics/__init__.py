@@ -5,10 +5,18 @@
 * :mod:`repro.metrics.pareto` — the Pareto-optimality analysis of Figure 8.
 * :mod:`repro.metrics.traffic` — packet traces and the traffic/speedup-over-
   time series of Figure 9.
+* :mod:`repro.metrics.percentiles` — nearest-rank percentile estimation,
+  shared by the trace diff and the service latency metrics.
 """
 
 from repro.metrics.accuracy import nas_aggregate, relative_error
 from repro.metrics.pareto import ParetoPoint, pareto_front
+from repro.metrics.percentiles import (
+    SERVICE_POINTS,
+    nearest_rank,
+    nearest_rank_index,
+    nearest_rank_percentiles,
+)
 from repro.metrics.traffic import TrafficTrace
 
 __all__ = [
@@ -17,4 +25,8 @@ __all__ = [
     "ParetoPoint",
     "pareto_front",
     "TrafficTrace",
+    "SERVICE_POINTS",
+    "nearest_rank",
+    "nearest_rank_index",
+    "nearest_rank_percentiles",
 ]

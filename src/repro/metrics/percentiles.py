@@ -1,0 +1,61 @@
+"""Nearest-rank percentiles, shared by trace diffs and service metrics.
+
+One implementation of the nearest-rank estimator serves both consumers:
+:meth:`repro.obs.diff.TraceDiff.lag_percentiles` (straggler-lag
+percentiles over matched packets) and :mod:`repro.service.metrics`
+(per-request latency percentiles and SLO accounting).  Nearest-rank picks
+an *actual observed sample* — never an interpolation — so a percentile of
+integer-nanosecond latencies is itself an integer nanosecond value and
+round-trips exactly through the JSON result cache.
+
+The index rule is ``min(floor(p * n / 100), n - 1)`` over the ascending
+sort, kept bit-compatible with the integer arithmetic the trace diff has
+always used (``point * n // 100``) while extending it to fractional
+points such as p99.9 (points are resolved in tenths of a percent, so
+99.9 is exact and float representation error cannot shift the rank).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+Value = TypeVar("Value", int, float)
+Point = TypeVar("Point", int, float)
+
+#: The service-metric summary points: p50/p90/p99/p99.9.
+SERVICE_POINTS: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9)
+
+
+def nearest_rank_index(count: int, point: float) -> int:
+    """Index of the nearest-rank *point*-th percentile in a sorted sample.
+
+    ``point`` is a percentage in [0, 100] with at most one decimal
+    (50, 90, 99, 99.9, ...).  For integer points this reproduces the
+    historical ``point * count // 100`` rule exactly.
+    """
+    if count <= 0:
+        raise ValueError("percentile of an empty sample")
+    tenths = round(point * 10)
+    if not 0 <= tenths <= 1000:
+        raise ValueError(f"percentile point {point} outside [0, 100]")
+    return min(tenths * count // 1000, count - 1)
+
+
+def nearest_rank(sorted_values: Sequence[Value], point: float) -> Value:
+    """The *point*-th percentile of an ascending-sorted sample."""
+    return sorted_values[nearest_rank_index(len(sorted_values), point)]
+
+
+def nearest_rank_percentiles(
+    values: Sequence[Value], points: Sequence[Point]
+) -> dict[Point, Value]:
+    """Nearest-rank percentiles of an unsorted sample, keyed by point.
+
+    An empty sample maps every point to 0 (the trace diff's historical
+    convention: "no stragglers" renders as zero lag, and a zero-request
+    service run renders as zero latency).
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return {point: 0 for point in points}
+    return {point: nearest_rank(ordered, point) for point in points}

@@ -15,12 +15,13 @@ minimum latency (+ topology).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.engine.units import SimTime
 from repro.network.packet import Packet, frames_for_message
-from repro.node.requests import Recv
+from repro.node.requests import ANY_SOURCE, ANY_TAG, Recv
 
 
 @dataclass(slots=True)
@@ -90,7 +91,14 @@ class NicModel:
         self._wire_ns: dict[int, SimTime] = {}
         self._message_ids = itertools.count()
         self._reassembly: dict[tuple[int, int], _Reassembly] = {}
-        self.mailbox: list[Message] = []
+        # The mailbox is indexed by (src, tag) so a Recv with both fields
+        # bound pops in O(1) and a wildcard Recv scans queues (bounded by
+        # peers x tags), not messages — an open-loop source can hold tens
+        # of thousands of queued replies, where a flat list made every
+        # match a linear scan.  A global arrival sequence preserves the
+        # contract: FIFO in arrival order among matching messages.
+        self._mailbox_seq = itertools.count()
+        self._mailbox: dict[tuple[int, int], deque[tuple[int, Message]]] = {}
         self.stats = NicStats()
 
     def serialization(self, size_bytes: int) -> SimTime:
@@ -205,7 +213,7 @@ class NicModel:
                 ideal_arrival=packet.due_time,
                 fragments=1,
             )
-            self.mailbox.append(message)
+            self._deposit(message)
             stats.messages_received += 1
             return message
         key = (packet.src, packet.message_id)
@@ -240,7 +248,7 @@ class NicModel:
         message.arrived_at = entry.max_deliver
         message.ideal_arrival = entry.max_due
         message.fragments = entry.received
-        self.mailbox.append(message)
+        self._deposit(message)
         self.stats.messages_received += 1
         return message
 
@@ -248,12 +256,42 @@ class NicModel:
     # Mailbox
     # ------------------------------------------------------------------ #
 
+    def _deposit(self, message: Message) -> None:
+        queue = self._mailbox.get((message.src, message.tag))
+        if queue is None:
+            queue = self._mailbox[(message.src, message.tag)] = deque()
+        queue.append((next(self._mailbox_seq), message))
+
+    @property
+    def mailbox(self) -> list[Message]:
+        """The queued messages in arrival order (visibility for tests)."""
+        entries = [entry for queue in self._mailbox.values() for entry in queue]
+        entries.sort(key=lambda entry: entry[0])
+        return [message for _, message in entries]
+
     def match(self, request: Recv) -> Optional[Message]:
         """Pop the first mailbox message satisfying *request* (FIFO)."""
-        for index, message in enumerate(self.mailbox):
-            if request.matches(message.src, message.tag):
-                return self.mailbox.pop(index)
-        return None
+        src, tag = request.src, request.tag
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            exact = self._mailbox.get((src, tag))
+            if exact:
+                return exact.popleft()[1]
+            return None
+        best: Optional[deque[tuple[int, Message]]] = None
+        best_seq = 0
+        for (queue_src, queue_tag), queue in self._mailbox.items():
+            if not queue:
+                continue
+            if src != ANY_SOURCE and src != queue_src:
+                continue
+            if tag != ANY_TAG and tag != queue_tag:
+                continue
+            seq = queue[0][0]
+            if best is None or seq < best_seq:
+                best, best_seq = queue, seq
+        if best is None:
+            return None
+        return best.popleft()[1]
 
     def pending_reassemblies(self) -> int:
         """Messages with fragments still in flight (visibility for tests)."""

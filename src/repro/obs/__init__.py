@@ -25,6 +25,7 @@ from repro.obs.events import (
     PacketTrace,
     QuantumBegin,
     QuantumEnd,
+    RequestTrace,
     TraceEvent,
     TransportTrace,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "PacketTrace",
     "FaultTrace",
     "TransportTrace",
+    "RequestTrace",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -40,6 +40,7 @@ from repro.obs.events import (
     PacketTrace,
     QuantumBegin,
     QuantumEnd,
+    RequestTrace,
     TraceEvent,
     TransportTrace,
 )
@@ -70,6 +71,8 @@ class TraceConfig:
         packets: record per-frame delivery lifecycles.
         faults: record fault-injector verdicts.
         transport: record recovery-transport retransmissions.
+        requests: record service-workload request lifecycles (issue and
+            completion edges, emitted by the workload's query manager).
     """
 
     capacity: int = 1 << 20
@@ -79,6 +82,7 @@ class TraceConfig:
     packets: bool = True
     faults: bool = True
     transport: bool = True
+    requests: bool = True
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
@@ -287,6 +291,28 @@ class TraceCollector:
                     message_id=packet.message_id,
                     fragment=packet.fragment,
                     extra_latency=extra_latency,
+                )
+            )
+
+    def on_request(
+        self,
+        now: SimTime,
+        action: str,
+        request_id: int,
+        node: int,
+        latency: SimTime,
+        slo_miss: bool,
+    ) -> None:
+        """Record one request-lifecycle edge (service-workload hook)."""
+        if self.config.requests:
+            self._emit(
+                RequestTrace(
+                    time=now,
+                    action=action,
+                    request_id=request_id,
+                    node=node,
+                    latency=latency,
+                    slo_miss=slo_miss,
                 )
             )
 

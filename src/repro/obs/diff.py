@@ -88,11 +88,12 @@ class TraceDiff:
 
     def lag_percentiles(self, points: tuple[int, ...] = (50, 90, 99)) -> dict[int, SimTime]:
         """Lag percentiles over the *straggler* population (nearest-rank)."""
-        lags = sorted(lag.lag for lag in self.matched if lag.straggler)
-        if not lags:
-            return {point: 0 for point in points}
-        last = len(lags) - 1
-        return {point: lags[min(point * len(lags) // 100, last)] for point in points}
+        # Imported lazily: repro.metrics pulls in workload machinery that
+        # itself imports repro.obs at package-init time.
+        from repro.metrics.percentiles import nearest_rank_percentiles
+
+        lags = [lag.lag for lag in self.matched if lag.straggler]
+        return nearest_rank_percentiles(lags, points)
 
     # -- per-phase attribution ----------------------------------------- #
 

@@ -19,6 +19,7 @@ kind                      what the paper reads off it
 ``packet``                Figure 3 delivery outcome + straggler lag (Sec. 5)
 ``fault``                 injected drop/duplicate/delay verdicts
 ``transport``             recovery-layer RTO retransmissions
+``request``               service-workload request lifecycle (issue/complete)
 ========================  ====================================================
 """
 
@@ -182,3 +183,23 @@ class TransportTrace(TraceEvent):
     retransmit: int
 
     kind: ClassVar[str] = "transport"
+
+
+@dataclass(frozen=True, slots=True)
+class RequestTrace(TraceEvent):
+    """A service-workload request crossed a lifecycle edge.
+
+    ``action`` is ``issued`` (the feeder injected the request; ``time`` is
+    the issue instant, ``latency``/``slo_miss`` are zeroed) or
+    ``completed`` (the response reached the client; ``time`` is the
+    arrival, ``latency`` the client-observed round trip).  ``node`` is the
+    frontend rank the request entered (or returned) through.
+    """
+
+    action: str
+    request_id: int
+    node: int
+    latency: SimTime
+    slo_miss: bool
+
+    kind: ClassVar[str] = "request"

@@ -1,0 +1,43 @@
+"""Open-loop request-serving workloads (Helix-style source/tiers/sink).
+
+The paper's workloads are closed-loop HPC kernels: every rank computes,
+exchanges, and waits — traffic pauses whenever the application does.  The
+ROADMAP's "millions of users" north star needs the opposite regime, the
+one cluster serving systems live in: an **open-loop** request stream that
+never waits for the system, fanned out over a tiered RPC tree, measured
+by tail latency against an SLO.
+
+* :mod:`repro.service.arrivals` — the deterministic request feeder: a
+  Poisson base rate with diurnal and burst modulation, drawn from the
+  dedicated ``"arrivals"`` RNG stream.
+* :mod:`repro.service.tiers` — the frontend → mid-tier → leaf topology,
+  per-tier service-time models, and deterministic routing.
+* :mod:`repro.service.workload` — :class:`ServiceWorkload`, the
+  open-loop application on the SPMD/node machinery, plus its query
+  manager (request accounting shared by the feeder and the sink).
+* :mod:`repro.service.metrics` — per-request latency records aggregated
+  into nearest-rank p50/p90/p99/p99.9 and SLO-miss rate.
+"""
+
+from repro.service.arrivals import (
+    ARRIVALS_STREAM,
+    ArrivalProfile,
+    BurstWindow,
+    draw_arrivals,
+)
+from repro.service.metrics import ServiceStats, service_stats
+from repro.service.tiers import TierModel, TierPlan
+from repro.service.workload import QueryManager, ServiceWorkload
+
+__all__ = [
+    "ARRIVALS_STREAM",
+    "ArrivalProfile",
+    "BurstWindow",
+    "draw_arrivals",
+    "QueryManager",
+    "ServiceStats",
+    "ServiceWorkload",
+    "service_stats",
+    "TierModel",
+    "TierPlan",
+]

@@ -1,0 +1,359 @@
+"""The open-loop tiered service workload.
+
+Topology (Helix-style)::
+
+    rank 0          tier 0           tier 1         tier 2
+    source/sink --> frontend --+--> mid-tier --+--> leaf
+    (feeder +       (query        (fan-out/      (fan-out/
+     client)         entry)        fan-in)        fan-in)
+
+Rank 0 is the **feeder**: it replays the precomputed arrival schedule,
+sleeping between arrivals and eagerly sending one request frame per
+arrival — sends never block on the receiver, so the stream stays
+open-loop even when the service backs up (queueing then shows up as
+latency, exactly as in a real saturated cluster).  It is also the
+**sink**: frontends return each response to rank 0, and the recorded
+latency is the client-observed ``response.arrived_at - request.sent_at``
+— both stamped by the NICs, so the metric needs no modelled-cost
+arithmetic and dilates under coarse quanta exactly the way stragglers
+dilate real deliveries.
+
+Every server is single-threaded: it receives a request, burns its
+hash-derived service time, fans out to the next tier, blocks on the
+fan-in, and responds.  Concurrency (and therefore queueing delay) comes
+from the *width* of each tier, and unserved requests wait in the NIC
+mailbox in deterministic FIFO order.
+
+Shutdown is counted, not timed: after the last arrival the feeder sends
+one sentinel (``payload=None``) to every frontend, and each tier
+forwards sentinels to the whole next tier once all of its upstreams are
+done.  Per-link FIFO delivery guarantees a sentinel can never overtake a
+request, so every request is served before the tree drains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
+
+from repro.core.cluster import RunResult
+from repro.engine.rng import RngStreams
+from repro.engine.units import SimTime
+from repro.metrics.percentiles import nearest_rank_percentiles
+from repro.mpi.api import MpiRank, spmd_apps
+from repro.node.node import NodeCosts
+from repro.node.requests import ComputeTime, Request, Sleep
+from repro.service.arrivals import ARRIVALS_STREAM, ArrivalProfile, draw_arrivals
+from repro.service.metrics import ServiceStats, service_stats
+from repro.service.tiers import TierModel, TierPlan
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.collector import TraceCollector
+
+#: User-space tags of the service protocol.
+TAG_REQUEST = 71
+TAG_RESPONSE = 72
+
+#: Default per-tier service models (frontend, mid, leaf): cheap parsing
+#: up front, heavier work per hop, and a rare 5x heavy-tail excursion at
+#: the leaves — the shape that makes p99.9 interesting.
+DEFAULT_TIER_MODELS: tuple[TierModel, ...] = (
+    TierModel(base_ns=2_000, jitter_ns=1_000),
+    TierModel(base_ns=5_000, jitter_ns=2_000),
+    TierModel(base_ns=8_000, jitter_ns=4_000, tail_prob=0.01, tail_factor=5.0),
+)
+
+
+class QueryManager:
+    """End-to-end request accounting shared by the feeder and the sink.
+
+    Purely observational: the programs update it as they run, the harness
+    reads it for live progress (watchdog diagnostics, incomplete-run
+    errors), and — when a trace collector is attached — it emits the
+    request-lifecycle trace events.  It never influences the simulation,
+    so attaching or detaching it cannot change any result bit.
+    """
+
+    def __init__(self, target: int, slo_ns: SimTime) -> None:
+        #: Requests the feeder will issue in total.
+        self.target = target
+        self.slo_ns = slo_ns
+        #: Issued by the feeder / responded by a frontend / received back
+        #: at the sink, in that order of the request lifecycle.
+        self.issued = 0
+        self.responded = 0
+        self.completed = 0
+        #: Client-observed latency per completed request, ns, in
+        #: completion order.
+        self.latencies: list[SimTime] = []
+        #: Trace hook (None = untraced; set via Workload.attach_trace).
+        self.collector: Optional["TraceCollector"] = None
+
+    @property
+    def in_flight(self) -> int:
+        """Issued requests no frontend has responded to yet."""
+        return self.issued - self.responded
+
+    def issue(self, request_id: int, now: SimTime, frontend: int) -> None:
+        self.issued += 1
+        if self.collector is not None:
+            self.collector.on_request(now, "issued", request_id, frontend, 0, False)
+
+    def respond(self, request_id: int, frontend: int) -> None:
+        self.responded += 1
+
+    def complete(
+        self, request_id: int, now: SimTime, frontend: int, latency: SimTime
+    ) -> None:
+        self.completed += 1
+        self.latencies.append(latency)
+        if self.collector is not None:
+            self.collector.on_request(
+                now, "completed", request_id, frontend, latency, latency > self.slo_ns
+            )
+
+    def progress(self) -> str:
+        return (
+            f"{self.issued}/{self.target} requests issued, "
+            f"{self.responded} served, {self.completed} delivered, "
+            f"{self.in_flight} in flight"
+        )
+
+
+class ServiceWorkload(Workload):
+    """Open-loop request serving with tail-latency metrics.
+
+    The application metric is the nearest-rank ``percentile`` (default
+    p99) of client-observed request latency, in microseconds — a
+    ``metric_kind="percentile"`` workload, so ``accuracy_error`` against
+    the Q<=T reference run reads "p99 error vs ground truth".
+
+    Args:
+        profile: the arrival process (see :class:`ArrivalProfile`).
+        tier_weights: relative width of each service tier; ranks 1..N-1
+            are split proportionally (rank 0 is the feeder/sink).
+        tier_models: per-tier service-time models (defaults scale
+            :data:`DEFAULT_TIER_MODELS` to the tier count).
+        fanout: downstream ranks each request fans out to per hop.
+        request_bytes / response_bytes: message sizes on the wire.
+        slo_ns: latency SLO; the miss rate is reported per run.
+        percentile: the point the headline metric reads (99.0 = p99).
+        seed: root seed of the ``"arrivals"`` stream.  Part of the
+            workload configuration (and its cache key): the same profile
+            and seed replay the identical arrival schedule under every
+            quantum policy, which is what makes policy comparisons and
+            the Q<=T ground truth share one request stream.
+    """
+
+    name = "SVC"
+    metric_name = "p99 latency (us)"
+    metric_kind = "percentile"
+
+    def __init__(
+        self,
+        profile: Optional[ArrivalProfile] = None,
+        tier_weights: tuple[int, ...] = (1, 2, 4),
+        tier_models: Optional[tuple[TierModel, ...]] = None,
+        fanout: int = 2,
+        request_bytes: int = 256,
+        response_bytes: int = 512,
+        slo_ns: SimTime = 200_000,
+        percentile: float = 99.0,
+        seed: int = 42,
+    ) -> None:
+        if tier_models is None:
+            tier_models = tuple(
+                DEFAULT_TIER_MODELS[min(i, len(DEFAULT_TIER_MODELS) - 1)]
+                for i in range(len(tier_weights))
+            )
+        if len(tier_models) != len(tier_weights):
+            raise ValueError(
+                f"{len(tier_weights)} tiers need {len(tier_weights)} tier "
+                f"models, got {len(tier_models)}"
+            )
+        if fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {fanout}")
+        if request_bytes < 1 or response_bytes < 1:
+            raise ValueError("request/response sizes must be at least 1 byte")
+        if slo_ns <= 0:
+            raise ValueError(f"SLO must be positive, got {slo_ns}")
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {percentile}")
+        self.profile = profile if profile is not None else ArrivalProfile()
+        self.tier_weights = tuple(tier_weights)
+        self.tier_models = tuple(tier_models)
+        self.fanout = fanout
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.slo_ns = slo_ns
+        self.percentile = percentile
+        self.seed = seed
+        # Derived per-build state (underscore attributes are excluded from
+        # cache-key descriptions and dropped when the workload pickles).
+        self._plan: Optional[TierPlan] = None
+        self._arrivals: Optional[np.ndarray] = None
+        self._query_manager: Optional[QueryManager] = None
+
+    # -- construction ---------------------------------------------------- #
+
+    def build_apps(self, size: int) -> list[Generator[Request, Any, Any]]:
+        plan = TierPlan.layout(size, self.tier_weights)
+        arrivals = draw_arrivals(
+            self.profile, RngStreams(self.seed).stream(ARRIVALS_STREAM)
+        )
+        self._plan = plan
+        self._arrivals = arrivals
+        self._query_manager = QueryManager(target=len(arrivals), slo_ns=self.slo_ns)
+        return spmd_apps(size, self.program)
+
+    def program(self, mpi: MpiRank) -> Generator[Request, Any, Any]:
+        plan, arrivals, manager = self._plan, self._arrivals, self._query_manager
+        if plan is None or arrivals is None or manager is None:
+            raise RuntimeError("ServiceWorkload.program needs build_apps() first")
+        if mpi.rank == plan.source:
+            return self._source(mpi, plan, arrivals, manager)
+        return self._server(mpi, plan, plan.tier_of(mpi.rank), manager)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Derived build state (the arrival array can be megabytes) never
+        # crosses a process boundary: workers rebuild it in build_apps.
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        state["_arrivals"] = None
+        state["_query_manager"] = None
+        return state
+
+    # -- harness hooks --------------------------------------------------- #
+
+    def attach_trace(self, collector: Optional["TraceCollector"]) -> None:
+        if self._query_manager is not None:
+            self._query_manager.collector = collector
+
+    def progress_summary(self) -> Optional[str]:
+        if self._query_manager is None:
+            return None
+        return self._query_manager.progress()
+
+    # -- the programs ---------------------------------------------------- #
+
+    def _source(
+        self,
+        mpi: MpiRank,
+        plan: TierPlan,
+        arrivals: np.ndarray,
+        manager: QueryManager,
+    ) -> Generator[Request, Any, Any]:
+        # The feeder tracks its own clock analytically: Sleep/Send resume
+        # times are deterministic functions of the default NodeCosts, so
+        # `now` stays exact and arrivals land on schedule whenever the
+        # schedule is feasible (saturation just delays deterministically).
+        send_cost = NodeCosts().send_cost(self.request_bytes)
+        now: SimTime = 0
+        for request_id in range(len(arrivals)):
+            due = int(arrivals[request_id])
+            if due > now:
+                yield Sleep(due - now)
+                now = due
+            frontend = plan.frontend_for(request_id)
+            manager.issue(request_id, now, frontend)
+            yield from mpi.send(
+                frontend, self.request_bytes, TAG_REQUEST, payload=request_id
+            )
+            now += send_cost
+        for frontend in plan.tiers[0]:
+            yield from mpi.send(frontend, self.request_bytes, TAG_REQUEST, payload=None)
+            now += send_cost
+        # Sink phase: collect every response; latency is client-observed
+        # (NIC-stamped response arrival minus NIC-stamped request send).
+        issued = len(arrivals)
+        for _ in range(issued):
+            reply = yield from mpi.recv(tag=TAG_RESPONSE)
+            request_id, sent_at = reply.payload
+            latency = reply.arrived_at - sent_at
+            manager.complete(request_id, reply.arrived_at, reply.src, latency)
+        return {
+            "role": "source",
+            "issued": issued,
+            "latencies": list(manager.latencies),
+        }
+
+    def _server(
+        self,
+        mpi: MpiRank,
+        plan: TierPlan,
+        tier: int,
+        manager: QueryManager,
+    ) -> Generator[Request, Any, Any]:
+        model = self.tier_models[tier]
+        upstreams = 1 if tier == 0 else len(plan.tiers[tier - 1])
+        children = plan.children_of(tier)
+        served = 0
+        sentinels = 0
+        while sentinels < upstreams:
+            message = yield from mpi.recv(tag=TAG_REQUEST)
+            if message.payload is None:
+                sentinels += 1
+                continue
+            request_id: int = message.payload
+            yield ComputeTime(model.service_time(request_id, tier, mpi.rank))
+            if children:
+                targets = plan.route(request_id, tier, self.fanout)
+                for target in targets:
+                    yield from mpi.send(
+                        target, self.request_bytes, TAG_REQUEST, payload=request_id
+                    )
+                for target in targets:
+                    yield from mpi.recv(src=target, tag=TAG_RESPONSE)
+            if tier == 0:
+                # The frontend answers the client, echoing the request's
+                # NIC-stamped send time so the sink can measure latency.
+                manager.respond(request_id, mpi.rank)
+                yield from mpi.send(
+                    plan.source,
+                    self.response_bytes,
+                    TAG_RESPONSE,
+                    payload=(request_id, message.sent_at),
+                )
+            else:
+                yield from mpi.send(
+                    message.src, self.response_bytes, TAG_RESPONSE, payload=request_id
+                )
+            served += 1
+        for child in children:
+            yield from mpi.send(child, self.request_bytes, TAG_REQUEST, payload=None)
+        return {"role": f"tier{tier}", "served": served}
+
+    # -- metrics ---------------------------------------------------------- #
+
+    @staticmethod
+    def _source_result(result: RunResult) -> dict[str, Any]:
+        source = result.app_results[0]
+        if not isinstance(source, dict) or "latencies" not in source:
+            raise ValueError("run carries no service source record")
+        return source
+
+    def metric(self, result: RunResult) -> float:
+        """Nearest-rank latency percentile (default p99), microseconds."""
+        return nearest_rank_us(
+            self._source_result(result)["latencies"], self.percentile
+        )
+
+    def service_summary(self, result: RunResult) -> ServiceStats:
+        """Full latency/SLO aggregation of a finished run."""
+        source = self._source_result(result)
+        return service_stats(
+            source["latencies"], issued=source["issued"], slo_ns=self.slo_ns
+        )
+
+    def describe(self) -> str:
+        widths = "/".join(str(len(t)) for t in (self._plan.tiers if self._plan else ()))
+        shape = widths or ":".join(str(w) for w in self.tier_weights)
+        return f"{self.name}[{shape}] {self.profile.describe()}"
+
+
+def nearest_rank_us(latencies_ns: list[SimTime], percentile: float) -> float:
+    """One nearest-rank latency point, converted to microseconds."""
+    value = nearest_rank_percentiles(latencies_ns, (percentile,))[percentile]
+    return value / 1_000.0

@@ -12,12 +12,15 @@ dilated guest run distorts the benchmark's self-reported numbers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
 from repro.core.cluster import RunResult
 from repro.engine.units import SECOND
 from repro.mpi.api import MpiRank, spmd_apps
 from repro.node.requests import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.collector import TraceCollector
 
 
 def harmonic_mean(values: Iterable[float]) -> float:
@@ -37,7 +40,10 @@ class Workload(ABC):
     name: str = "workload"
     #: Human name of the application metric ("MOPS", "wall-clock s").
     metric_name: str = "metric"
-    #: "rate" metrics (MOPS) improve upward; "time" metrics downward.
+    #: "rate" metrics (MOPS) improve upward; "time" metrics downward;
+    #: "percentile" metrics are latency-distribution points (service
+    #: workloads' p99) — like "time" they improve downward, but they
+    #: summarise a per-request sample rather than the makespan.
     metric_kind: str = "rate"
 
     @abstractmethod
@@ -74,6 +80,27 @@ class Workload(ABC):
         if ground_truth.makespan == 0:
             raise ValueError("ground-truth run has zero makespan")
         return result.makespan / ground_truth.makespan
+
+    def attach_trace(self, collector: Optional["TraceCollector"]) -> None:
+        """Offer the run's trace collector to the workload (or ``None`` to
+        detach it).
+
+        Most workloads ignore tracing; workloads that emit application-level
+        trace events (the service workload's request lifecycle) override
+        this.  The harness detaches the collector while replaying a
+        checkpoint's application log so replayed steps are not re-emitted.
+        """
+
+    def progress_summary(self) -> Optional[str]:
+        """A one-line live progress report, or ``None`` if the workload
+        tracks none.
+
+        Used by the harness watchdog and incomplete-run diagnostics to
+        report application progress (e.g. requests completed/in flight)
+        alongside simulated time.  Only meaningful in the process that ran
+        ``build_apps``; sharded workers each see their own copy.
+        """
+        return None
 
     def describe(self) -> str:
         return self.name

@@ -1,0 +1,88 @@
+"""Tests for the shared nearest-rank percentile helper."""
+
+import pytest
+
+from repro.metrics.percentiles import (
+    SERVICE_POINTS,
+    nearest_rank,
+    nearest_rank_index,
+    nearest_rank_percentiles,
+)
+
+
+class TestNearestRankIndex:
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(0, 50)
+        with pytest.raises(ValueError):
+            nearest_rank_index(-3, 50)
+
+    def test_invalid_point(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, -1)
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, 100.1)
+
+    def test_bounds(self):
+        assert nearest_rank_index(10, 0) == 0
+        assert nearest_rank_index(10, 100) == 9
+        assert nearest_rank_index(1, 99.9) == 0
+
+    def test_matches_historical_integer_formula(self):
+        # The trace diff used `min(point * len // 100, len - 1)`; the
+        # shared helper must be bit-compatible for integer points.
+        for count in range(1, 200):
+            for point in (50, 90, 99):
+                assert nearest_rank_index(count, point) == min(
+                    point * count // 100, count - 1
+                )
+
+    def test_tenth_points(self):
+        assert nearest_rank_index(10_000, 99.9) == 9_990
+        assert nearest_rank_index(100, 99.9) == 99
+        # p99.9 only separates from p99 once the sample resolves tenths.
+        assert nearest_rank_index(1_000, 99.9) > nearest_rank_index(1_000, 99.0)
+
+
+class TestNearestRank:
+    def test_single_sample(self):
+        assert nearest_rank([7], 50) == 7
+        assert nearest_rank([7], 99.9) == 7
+
+    def test_sorted_sample(self):
+        values = list(range(100))
+        assert nearest_rank(values, 50) == 50
+        assert nearest_rank(values, 99) == 99
+        assert nearest_rank(values, 0) == 0
+
+    def test_ties(self):
+        values = [5] * 10 + [9] * 10
+        assert nearest_rank(values, 50) == 9
+        assert nearest_rank(values, 25) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50)
+
+
+class TestNearestRankPercentiles:
+    def test_empty_sample_is_all_zeros(self):
+        assert nearest_rank_percentiles([], (50, 90, 99)) == {50: 0, 90: 0, 99: 0}
+        assert nearest_rank_percentiles([], SERVICE_POINTS) == {
+            point: 0 for point in SERVICE_POINTS
+        }
+
+    def test_sorts_internally(self):
+        shuffled = [30, 10, 20, 50, 40]
+        assert nearest_rank_percentiles(shuffled, (50,)) == {50: 30}
+
+    def test_always_an_observed_sample(self):
+        values = [1, 100, 10_000]
+        result = nearest_rank_percentiles(values, SERVICE_POINTS)
+        assert set(result.values()) <= set(values)
+
+    def test_key_type_follows_point_type(self):
+        by_int = nearest_rank_percentiles([1, 2, 3], (50, 99))
+        assert set(by_int) == {50, 99}
+        by_float = nearest_rank_percentiles([1, 2, 3], (50.0, 99.9))
+        assert set(by_float) == {50.0, 99.9}
