@@ -60,7 +60,7 @@ def _sharded_registry() -> dict[str, tuple[list, int]]:
     return merged
 
 
-def _run_one(case: str, mode: str) -> None:
+def _run_one(case: str, mode: str, backend: str) -> None:
     """Internal entry point: time one case once and print JSON to stdout."""
     sharded = _sharded_registry()
     if case in sharded:
@@ -70,17 +70,27 @@ def _run_one(case: str, mode: str) -> None:
         )
     else:
         runs = all_cases()[case]
-        stats = benchlib.time_case(runs, vectorized=(mode == "vec"))
+        stats = benchlib.time_case(
+            runs, vectorized=(mode == "vec"), backend=backend
+        )
     print(json.dumps(stats))
 
 
-def _subprocess_time(case: str, mode: str, baseline_src: Path | None) -> dict:
+def _subprocess_time(
+    case: str,
+    mode: str,
+    baseline_src: Path | None,
+    backend: str = "python",
+) -> dict:
     env = dict(os.environ)
     env.pop("REPRO_BENCH_SRC", None)
     if baseline_src is not None:
         env["REPRO_BENCH_SRC"] = str(baseline_src)
     proc = subprocess.run(
-        [sys.executable, __file__, "--run-one", case, "--mode", mode],
+        [
+            sys.executable, __file__, "--run-one", case,
+            "--mode", mode, "--backend", backend,
+        ],
         capture_output=True,
         text=True,
         env=env,
@@ -94,8 +104,11 @@ def _subprocess_time(case: str, mode: str, baseline_src: Path | None) -> dict:
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-def _verify_identical(case: str, runs) -> dict:
-    """Run the case through both drivers in-process; assert equal results."""
+def _verify_identical(case: str, runs, backend: str = "python") -> dict:
+    """Run the case in-process; assert it equals the scalar python
+    reference.  For ``backend="native"`` this is the acceptance check
+    that the compiled core reproduces the reference bit-for-bit before
+    any native timing is reported."""
     events = 0
     quanta = 0
     for factory in runs:
@@ -105,10 +118,11 @@ def _verify_identical(case: str, runs) -> dict:
         )
         workload, size, policy = factory()
         vec_result, perf, _ = benchlib.run_once(
-            workload, size, policy, vectorized=True
+            workload, size, policy, vectorized=True, backend=backend
         )
         assert scalar_result == vec_result, (
-            f"{case}: vectorized RunResult differs from the scalar reference"
+            f"{case}: vectorized ({backend}) RunResult differs from the "
+            f"scalar python reference"
         )
         if perf is not None:
             events += perf.events
@@ -176,6 +190,13 @@ def _check_regression(
         ref_entry = reference.get("cases", {}).get(name)
         if ref_entry is None or not ref_entry.get("events_per_sec"):
             continue
+        # Like-for-like backends only: a host without a compiler runs the
+        # python cases and simply never produces the native entries, and
+        # a python measurement must never be judged against a committed
+        # native number (or vice versa) — a missing compiler degrades
+        # coverage, it cannot fake a regression.
+        if entry.get("backend", "python") != ref_entry.get("backend", "python"):
+            continue
         floor = ref_entry["events_per_sec"] * (1.0 - max_regression)
         if entry["events_per_sec"] < floor:
             failures.append(
@@ -205,10 +226,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional events/sec drop for --check")
     parser.add_argument("--run-one", default=None, help=argparse.SUPPRESS)
     parser.add_argument("--mode", default="vec", help=argparse.SUPPRESS)
+    parser.add_argument("--backend", default="python", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.run_one is not None:
-        _run_one(args.run_one, args.mode)
+        _run_one(args.run_one, args.mode, args.backend)
         return 0
 
     if args.quick:
@@ -218,45 +240,70 @@ def main(argv: list[str] | None = None) -> int:
         cases = all_cases()
         out = args.out or REPO_ROOT / "BENCH_runtime.json"
 
+    from repro.engine.backend import native_available, native_unavailable_reason
+
+    if not native_available():
+        print(
+            f"[backend] compiled engine core unavailable "
+            f"({native_unavailable_reason()}); native cases skipped",
+            file=sys.stderr,
+        )
+
     report_cases: dict[str, dict] = {}
     with _BaselineTree(args.baseline_ref) as baseline_src:
         for name, runs in cases.items():
-            print(f"[{name}] verifying vectorized == scalar ...", flush=True)
-            counts = _verify_identical(name, runs)
+            backends = ["python"] + (["native"] if native_available() else [])
+            for backend in backends:
+                case_name = name if backend == "python" else f"{name}_native"
+                print(
+                    f"[{case_name}] verifying vectorized ({backend}) == "
+                    f"scalar python ...",
+                    flush=True,
+                )
+                counts = _verify_identical(name, runs, backend)
 
-            best: dict[str, float] = {}
-            modes = ["scalar", "vec"] + (["baseline"] if baseline_src else [])
-            for round_index in range(args.rounds):
-                for mode in modes:
-                    src = baseline_src if mode == "baseline" else None
-                    sub_mode = "scalar" if mode == "baseline" else mode
-                    wall = _subprocess_time(name, sub_mode, src)["wall_s"]
-                    best[mode] = min(best.get(mode, wall), wall)
-                    print(
-                        f"[{name}] round {round_index + 1} {mode:8s}"
-                        f" {wall:7.3f}s",
-                        flush=True,
-                    )
+                best: dict[str, float] = {}
+                # The old-tree baseline predates the backend knob; only
+                # the python rows time against it.
+                modes = ["scalar", "vec"] + (
+                    ["baseline"] if baseline_src and backend == "python" else []
+                )
+                for round_index in range(args.rounds):
+                    for mode in modes:
+                        src = baseline_src if mode == "baseline" else None
+                        sub_mode = "scalar" if mode == "baseline" else mode
+                        wall = _subprocess_time(
+                            name, sub_mode, src, backend=backend
+                        )["wall_s"]
+                        best[mode] = min(best.get(mode, wall), wall)
+                        print(
+                            f"[{case_name}] round {round_index + 1} {mode:8s}"
+                            f" {wall:7.3f}s",
+                            flush=True,
+                        )
 
-            vec = best["vec"]
-            entry = {
-                "wall_s": round(vec, 3),
-                "scalar_wall_s": round(best["scalar"], 3),
-                "baseline_wall_s": (
-                    round(best["baseline"], 3) if "baseline" in best else None
-                ),
-                "workers": 1,
-                "events": counts["events"],
-                "quanta": counts["quanta"],
-                "events_per_sec": round(counts["events"] / vec, 1),
-                "quanta_per_sec": round(counts["quanta"] / vec, 1),
-                "speedup_vs_scalar": round(best["scalar"] / vec, 2),
-                "speedup_vs_baseline": (
-                    round(best["baseline"] / vec, 2) if "baseline" in best else None
-                ),
-                "identical_to_scalar": True,
-            }
-            report_cases[name] = entry
+                vec = best["vec"]
+                entry = {
+                    "backend": backend,
+                    "wall_s": round(vec, 3),
+                    "scalar_wall_s": round(best["scalar"], 3),
+                    "baseline_wall_s": (
+                        round(best["baseline"], 3) if "baseline" in best else None
+                    ),
+                    "workers": 1,
+                    "events": counts["events"],
+                    "quanta": counts["quanta"],
+                    "events_per_sec": round(counts["events"] / vec, 1),
+                    "quanta_per_sec": round(counts["quanta"] / vec, 1),
+                    "speedup_vs_scalar": round(best["scalar"] / vec, 2),
+                    "speedup_vs_baseline": (
+                        round(best["baseline"] / vec, 2)
+                        if "baseline" in best
+                        else None
+                    ),
+                    "identical_to_scalar": True,
+                }
+                report_cases[case_name] = entry
 
     # Sharded cases: timed against the serial vectorized path (never the
     # baseline tree — it predates repro.shard).  The speedup gate only
@@ -280,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
         wall = best["shard"]
         speedup = best["serial"] / wall
         entry = {
+            "backend": "python",
             "wall_s": round(wall, 3),
             "serial_wall_s": round(best["serial"], 3),
             "workers": shards,

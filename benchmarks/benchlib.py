@@ -92,6 +92,7 @@ def run_once(
     vectorized: bool,
     seed: int = BENCH_SEED,
     shards: int = 1,
+    backend: str = "python",
 ) -> tuple[Any, Any, float]:
     """Build and run one cluster simulation; returns (result, perf, wall_s).
 
@@ -99,7 +100,10 @@ def run_once(
     exposes them, else ``None``.  ``shards > 1`` runs through the sharded
     driver (bit-identical to serial; raises if the checkout predates it
     or the configuration fell back to serial — a benchmark labelled
-    "sharded" must not silently time the serial path).
+    "sharded" must not silently time the serial path).  ``backend``
+    defaults to the pure-python engine core so timings never depend on
+    whether the compiled module happens to be importable; a benchmark
+    labelled "native" raises rather than silently timing python.
     """
 
     def build() -> Any:
@@ -107,11 +111,19 @@ def run_once(
         nodes = [SimulatedNode(i, app) for i, app in enumerate(apps)]
         controller = NetworkController(size, PAPER_NETWORK(size))
         try:
-            config = ClusterConfig(seed=seed, vectorized=vectorized)
+            config = ClusterConfig(
+                seed=seed, vectorized=vectorized, backend=backend
+            )
         except TypeError:
-            # Pre-vectorization checkouts (baseline timing) have no
-            # ``vectorized`` knob; their only path is the scalar one.
-            config = ClusterConfig(seed=seed)
+            # Older checkouts (baseline timing) predate the ``backend``
+            # and/or ``vectorized`` knobs; degrade one knob at a time so
+            # a pre-backend tree still times its vectorized path.
+            if backend != "python":
+                raise
+            try:
+                config = ClusterConfig(seed=seed, vectorized=vectorized)
+            except TypeError:
+                config = ClusterConfig(seed=seed)
         return ClusterSimulator(nodes, controller, policy, config)
 
     if shards > 1:
@@ -226,7 +238,11 @@ def sharded_cases(quick: bool) -> dict[str, tuple[list[RunFactory], int]]:
 
 
 def time_case(
-    runs: list[RunFactory], *, vectorized: bool, shards: int = 1
+    runs: list[RunFactory],
+    *,
+    vectorized: bool,
+    shards: int = 1,
+    backend: str = "python",
 ) -> dict[str, Any]:
     """Execute every run of a case once; returns summed wall/event counts."""
     wall = 0.0
@@ -235,7 +251,8 @@ def time_case(
     for factory in runs:
         workload, size, policy = factory()
         _, perf, run_wall = run_once(
-            workload, size, policy, vectorized=vectorized, shards=shards
+            workload, size, policy,
+            vectorized=vectorized, shards=shards, backend=backend,
         )
         wall += run_wall
         if perf is not None:

@@ -56,7 +56,11 @@ JSON_SCHEMA_VERSION = 2
 #: Path substrings excluded from directory walks by default.  The golden
 #: corpus is deliberately full of violations; explicit file arguments
 #: still reach it (the exclusion applies to directory expansion only).
-DEFAULT_EXCLUDES = ("fixtures/simlint",)
+#: Build artifacts of the compiled engine backend are skipped too: the C
+#: source tree (``_native_src``) and scratch ``build/`` directories hold
+#: no lintable python, and generated helper scripts inside them must not
+#: gate the lint.
+DEFAULT_EXCLUDES = ("fixtures/simlint", "_native_src", "build/")
 
 
 def iter_python_files(

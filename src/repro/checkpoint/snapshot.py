@@ -43,7 +43,6 @@ What is captured, and why (see DESIGN.md for the full contract):
 from __future__ import annotations
 
 import hashlib
-import heapq
 import pickle
 from collections import deque
 from dataclasses import dataclass
@@ -127,8 +126,10 @@ def capture_snapshot(
                 f"{node.name} has no application input log; snapshots require "
                 "a simulator constructed with ClusterConfig.checkpoint set"
             )
-        heap = node.queue._heap
-        events = [entry[2] for entry in heap if entry[2]._alive]
+        # The neutral queue API works for both engine backends; native
+        # events pickle through a pure-python rebuild helper, so the
+        # payload itself is backend-independent.
+        events = node.queue.live_events()
         nodes_state.append(
             {
                 "events": events,
@@ -237,16 +238,12 @@ def restore_snapshot(sim: "ClusterSimulator", snapshot: SimSnapshot) -> None:
 
     # 2. Overwrite concrete node state from the snapshot's object graph.
     for node, node_state in zip(sim.nodes, state["nodes"]):
-        queue = node.queue
-        events = node_state["events"]
         # Rebuilt in place (the driver caches bound peek methods): the
-        # (time, seq) pairs are unique, so heapify restores the exact
-        # pop order of the captured queue.
-        queue._heap = [(event.time, event._seq, event) for event in events]
-        heapq.heapify(queue._heap)
-        queue._next_seq = node_state["next_seq"]
-        queue._live = len(events)
-        queue._dead = 0
+        # (time, _seq) pairs are unique, so re-heapifying restores the
+        # exact pop order of the captured queue.  The neutral API accepts
+        # events from either backend — snapshots captured under one
+        # restore under the other.
+        node.queue.restore_events(node_state["events"], node_state["next_seq"])
         node.activity = node_state["activity"]
         node.finished = node_state["finished"]
         node.app_finish_time = node_state["app_finish_time"]

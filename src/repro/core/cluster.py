@@ -47,6 +47,7 @@ from repro.checkpoint.config import CheckpointConfig
 from repro.core.barrier import BarrierModel
 from repro.core.quantum import QuantumPolicy, QuantumStats
 from repro.core.stats import BucketTimeline, HostCostBreakdown
+from repro.engine.backend import queue_class, resolve_backend
 from repro.engine.rng import RngStreams
 from repro.engine.units import SECOND, SimTime, format_time
 from repro.faults.injector import FaultInjector, FaultStats
@@ -141,6 +142,13 @@ class ClusterConfig:
             ``shards``, the setting never enters cache keys.  Checkpointed
             runs step serially (:mod:`repro.shard` falls back, itself
             bit-identical).
+        backend: engine-core implementation — ``"python"`` (the pure
+            reference), ``"native"`` (the compiled core, an error if not
+            built), or ``"auto"`` (native when importable, degrading to
+            python with the reason recorded on the simulator; overridable
+            via ``REPRO_BACKEND``).  See :mod:`repro.engine.backend`.
+            Both backends are bit-identical, so — like ``check``/
+            ``trace``/``shards`` — the setting never enters cache keys.
     """
 
     seed: int = 42
@@ -158,6 +166,7 @@ class ClusterConfig:
     trace: Optional[TraceConfig] = None
     shards: Optional[int] = None
     checkpoint: Optional[CheckpointConfig] = None
+    backend: str = "auto"
 
 
 @dataclass
@@ -428,6 +437,19 @@ class ClusterSimulator:
         if self.config.trace is not None:
             self.collector = TraceCollector(self.config.trace)
         controller.collector = self.collector
+        resolved = resolve_backend(self.config.backend)
+        #: The concrete engine backend this run steps with ("python" or
+        #: "native") and why "auto" degraded, if it did.  Observational
+        #: only: both backends are bit-identical.
+        self.backend = resolved.name
+        self.backend_fallback_reason = resolved.fallback_reason
+        if resolved.name == "native":
+            # Swap each node's (still empty — start() has not run) queue
+            # for the compiled implementation.  Everything downstream goes
+            # through the shared queue API, so this is the only branch.
+            native_queue = queue_class("native")
+            for node in nodes:
+                node.queue = native_queue()
         self._clocks = [_NodeClock() for _ in nodes]
         for node in nodes:
             node.emit_hook = self._on_emit

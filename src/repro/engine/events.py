@@ -264,8 +264,122 @@ class EventQueue:
                 return
             yield self.pop()
 
+    def pop_before(self, limit: SimTime) -> Optional[Event]:
+        """Pop the next live event if its time is ``< limit``, else ``None``."""
+        self._drop_dead()
+        heap = self._heap
+        if not heap or heap[0][0] >= limit:
+            return None
+        event = heapq.heappop(heap)[2]
+        self._live -= 1
+        return event
+
+    def drain(self, end: SimTime, node: Any) -> tuple[int, Optional[SimTime]]:
+        """Pop and dispatch every node event before *end* in one pass.
+
+        This is the fused inner loop of the driver's ground-truth drain
+        stepper: semantically identical to ``while peek_time() < end:
+        node.pop_and_handle()`` with the peek/pop pair collapsed into a
+        single heap access per event.  It lives on the queue (rather than
+        the node) because both backends implement it against their own
+        heap representation — the compiled twin is
+        ``repro.engine._native.EventQueue.drain``.  *node* supplies the
+        tag handlers (``_advance_app`` / ``emit_hook`` / ``_on_fragment``
+        / ``_handle_timer``) and the wakeup counter; it is typed loosely
+        to keep the engine layer free of node imports.
+
+        Returns ``(events handled, next event time)``, the second element
+        being exactly what ``peek_time()`` would return afterwards.
+        """
+        heappop = heapq.heappop
+        stats = node.stats
+        advance = node._advance_app
+        on_fragment = node._on_fragment
+        emit = node.emit_hook
+        handled = 0
+        while True:
+            # Re-read the heap each iteration: a handler-triggered cancel
+            # can compact the queue, which rebinds the underlying list.
+            heap = self._heap
+            if not heap:
+                return handled, None
+            entry = heap[0]
+            event = entry[2]
+            if not event._alive:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            time = entry[0]
+            if time >= end:
+                return handled, time
+            heappop(heap)
+            self._live -= 1
+            handled += 1
+            tag = event.tag
+            if tag == "app-wake":
+                stats.app_wakeups += 1
+                advance(time, event.payload)
+            elif tag == "emit":
+                if emit is None:
+                    raise RuntimeError(f"{node.name}: emit event without emit_hook")
+                emit(node, event.payload)
+            elif tag == "delivery":
+                on_fragment(time, event.payload)
+            else:
+                node._handle_timer(tag, event.payload, time)
+
+    def live_events(self) -> list[Event]:
+        """Snapshot view: the live events in heap-array order.
+
+        Order is unspecified beyond determinism — :meth:`restore_events`
+        re-heapifies on ``(time, _seq)``, which is unique per event, so
+        any permutation restores the same queue.
+        """
+        return [entry[2] for entry in self._heap if entry[2]._alive]
+
+    def restore_events(self, events: Iterable[Event], next_seq: int) -> None:
+        """Rebuild the queue from ``(events, next_seq)`` captured by
+        :meth:`live_events` (and the ``_next_seq`` counter).
+
+        Accepts events from either backend — entries are keyed by the
+        ``time``/``_seq`` attributes, so natively-created events restore
+        into a python queue and vice versa.  This is the only supported
+        way to load externally captured state; it replaces any current
+        contents.
+        """
+        self._heap = [(event.time, event._seq, event) for event in events]
+        heapq.heapify(self._heap)
+        self._live = len(self._heap)
+        self._dead = 0
+        self._next_seq = next_seq
+
     def clear(self) -> None:
         """Drop all events (used when tearing a simulation down)."""
         self._heap.clear()
         self._live = 0
         self._dead = 0
+
+
+def _restore_portable_event(
+    time: SimTime,
+    action: Optional[Callable[[], None]],
+    tag: str,
+    payload: Any,
+    seq: int,
+    alive: int,
+) -> Event:
+    """Unpickle target for events from *any* backend.
+
+    The native ``Event.__reduce__`` points here, so snapshots written
+    under ``backend="native"`` load in environments without the compiled
+    module and restore onto either backend.  The constructor is bypassed
+    (it rejects ``_seq``/``_alive`` state and re-validates time).
+    """
+    event = Event.__new__(Event)
+    event.time = time
+    event.action = action
+    event.tag = _intern(tag)
+    event.payload = payload
+    event._seq = seq
+    event._alive = bool(alive)
+    return event

@@ -104,6 +104,15 @@ def _parser() -> argparse.ArgumentParser:
         "ineligible runs fall back to serial with a reported reason)",
     )
     common.add_argument(
+        "--backend",
+        choices=["auto", "python", "native"],
+        default=argparse.SUPPRESS,
+        help="engine-core implementation: 'python' (pure-python reference), "
+        "'native' (compiled C core; error if unavailable), or 'auto' "
+        "(default: native when importable, else python; REPRO_BACKEND does "
+        "the same; both backends are bit-identical)",
+    )
+    common.add_argument(
         "--trace",
         metavar="DIR",
         default=argparse.SUPPRESS,
@@ -378,6 +387,8 @@ def _execute(args: argparse.Namespace) -> int:
     args.check = True if getattr(args, "check", False) else None
     # None defers to REPRO_SHARDS; never part of cache keys (bit-identical).
     args.shards = getattr(args, "shards", None)
+    # "auto" defers to REPRO_BACKEND; never part of cache keys either.
+    args.backend = getattr(args, "backend", "auto")
     # Robustness knobs: like check/trace/shards, none of these changes any
     # result bit or any cache key.
     args.checkpoint_dir = getattr(args, "checkpoint_dir", None)
@@ -424,6 +435,7 @@ def _execute(args: argparse.Namespace) -> int:
         # no quantum for the whole budget is wedged by definition.
         stall_timeout=args.run_timeout,
         retries=args.retries,
+        backend=args.backend,
     )
 
     if args.command == "fig6":

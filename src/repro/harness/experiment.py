@@ -102,6 +102,7 @@ class ExperimentRunner:
         run_timeout: Optional[float] = None,
         stall_timeout: Optional[float] = None,
         retries: int = 0,
+        backend: str = "auto",
     ) -> None:
         self.seed = seed
         self.host_params = host_params or HostModelParams()
@@ -127,6 +128,14 @@ class ExperimentRunner:
         self.run_timeout = run_timeout
         self.stall_timeout = stall_timeout
         self.retries = retries
+        #: Engine-core implementation ("auto"/"python"/"native").  Both
+        #: backends are bit-identical, so — like ``shards`` — this shapes
+        #: wall-clock only: never metrics, comparisons, or cache keys.
+        self.backend = backend
+        #: Why the most recent run degraded from the native engine core to
+        #: pure python (None when native ran or was not requested) — the
+        #: backend analogue of ``last_shard_fallback_reason``.
+        self.last_backend_fallback_reason: Optional[str] = None
         #: Why the most recent run degraded from the requested shard count
         #: to serial execution (None when sharding was off or succeeded) —
         #: the single-run analogue of ``ParallelRunner.last_fallback_reason``.
@@ -261,6 +270,7 @@ class ExperimentRunner:
                 trace=trace_config,
                 shards=self.shards,
                 checkpoint=checkpoint,
+                backend=self.backend,
             )
             simulator = ClusterSimulator(nodes, controller, policy, config)
             if trace is not None:
@@ -310,6 +320,7 @@ class ExperimentRunner:
             self.last_shard_fallback_reason = outcome.fallback_reason
             result = outcome.result
             simulator = outcome.simulator
+        self.last_backend_fallback_reason = simulator.backend_fallback_reason
         collector = simulator.collector if self.trace is not None else None
         if collector is not None:
             collector.close()

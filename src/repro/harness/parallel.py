@@ -165,6 +165,12 @@ class RunnerSettings:
     run_timeout: Optional[float] = None
     stall_timeout: Optional[float] = None
     retries: int = 0
+    # Also absent from key_fragment(): the compiled engine core is held
+    # bit-identical to the pure-python reference (the acceptance gate of
+    # repro.engine.backend), so results computed under either backend
+    # share cache entries — and "auto" keys stay byte-identical to
+    # pre-backend harness versions.
+    backend: str = "auto"
 
     def build_runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -185,6 +191,7 @@ class RunnerSettings:
             run_timeout=self.run_timeout,
             stall_timeout=self.stall_timeout,
             retries=self.retries,
+            backend=self.backend,
         )
 
     @property
@@ -515,6 +522,7 @@ class ParallelRunner(ExperimentRunner):
         run_timeout: Optional[float] = None,
         stall_timeout: Optional[float] = None,
         retries: int = 0,
+        backend: str = "auto",
         *,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -539,6 +547,7 @@ class ParallelRunner(ExperimentRunner):
             run_timeout=run_timeout,
             stall_timeout=stall_timeout,
             retries=retries,
+            backend=backend,
         )
         self.settings = RunnerSettings(
             seed=self.seed,
@@ -558,6 +567,7 @@ class ParallelRunner(ExperimentRunner):
             run_timeout=run_timeout,
             stall_timeout=stall_timeout,
             retries=retries,
+            backend=backend,
         )
         self.max_workers = max_workers
         self.progress = progress

@@ -18,7 +18,6 @@ it only ever interacts with the world through timestamped packet emissions
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
@@ -183,47 +182,13 @@ class SimulatedNode:
         Semantically identical to ``while peek_time() < end:
         pop_and_handle()``, with the peek/pop pair fused into a single
         heap access per event — this is the inner loop of the driver's
-        ground-truth drain stepper.  Returns ``(events handled, next
-        event time)``, the second element being exactly what
-        ``peek_time()`` would return afterwards.
+        ground-truth drain stepper.  The loop itself lives on the queue
+        (:meth:`repro.engine.events.EventQueue.drain`) so each backend
+        runs it against its own heap representation.  Returns ``(events
+        handled, next event time)``, the second element being exactly
+        what ``peek_time()`` would return afterwards.
         """
-        queue = self.queue
-        heappop = heapq.heappop
-        stats = self.stats
-        advance = self._advance_app
-        on_fragment = self._on_fragment
-        emit = self.emit_hook
-        handled = 0
-        while True:
-            # Re-read the heap each iteration: a handler-triggered cancel
-            # can compact the queue, which rebinds the underlying list.
-            heap = queue._heap
-            if not heap:
-                return handled, None
-            entry = heap[0]
-            event = entry[2]
-            if not event._alive:
-                heappop(heap)
-                queue._dead -= 1
-                continue
-            time = entry[0]
-            if time >= end:
-                return handled, time
-            heappop(heap)
-            queue._live -= 1
-            handled += 1
-            tag = event.tag
-            if tag == "app-wake":
-                stats.app_wakeups += 1
-                advance(time, event.payload)
-            elif tag == "emit":
-                if emit is None:
-                    raise RuntimeError(f"{self.name}: emit event without emit_hook")
-                emit(self, event.payload)
-            elif tag == "delivery":
-                on_fragment(time, event.payload)
-            else:
-                self._handle_timer(tag, event.payload, time)
+        return self.queue.drain(end, self)
 
     def deliver(self, packet: Packet, time: SimTime) -> None:
         """Schedule a fragment delivery at *time* (called by the driver)."""

@@ -1,16 +1,20 @@
-"""Differential equivalence of the vectorized driver against the scalar one.
+"""Differential equivalence across drivers *and* engine backends.
 
 ``ClusterConfig.vectorized`` switches the driver onto the numpy window
-stepper, the subset fast-forward, and the ground-truth drain path.  All of
-them are *accelerations*, not approximations: every test here runs the same
-configuration through both drivers and asserts the results are equal
-field-for-field — including the structured trace stream when tracing is on.
+stepper, the subset fast-forward, and the ground-truth drain path;
+``ClusterConfig.backend`` swaps the engine hot core for the compiled C
+implementation.  All of them are *accelerations*, not approximations:
+every test here runs the same configuration through the full
+backend x driver grid (python/native x scalar/vectorized — native rows
+only when the compiled module is importable) and asserts the results are
+equal field-for-field — including the structured trace stream when
+tracing is on.
 
 Coverage:
 
 * a deterministic sweep of 45+ configurations (three paper workloads x
   three cluster sizes x five quantum policies, plus traced, faulted,
-  sanitized, and recovery-transport variants),
+  sanitized, and recovery-transport variants), each swept over the grid,
 * a Hypothesis property over random SPMD programs, policies, and seeds,
   with tracing enabled so the event streams are compared too,
 * a regression guard that the subset fast-forward never fires when every
@@ -29,6 +33,7 @@ from repro.core import (
     ClusterSimulator,
     FixedQuantumPolicy,
 )
+from repro.engine.backend import native_available
 from repro.engine.units import MICROSECOND
 from repro.faults.plan import load_plan
 from repro.mpi.api import spmd_apps
@@ -42,6 +47,11 @@ from repro.workloads import EpWorkload, IsWorkload, NamdWorkload
 from tests.test_cluster_properties import make_program, program_schedules
 
 US = MICROSECOND
+
+# Without a compiler (or before `python -m repro.engine.backend --build`)
+# the grid degrades to the python column: the pure-python path is the
+# reference and must pass on its own.
+BACKENDS = ("python", "native") if native_available() else ("python",)
 
 SIZES = (2, 4, 8)
 
@@ -92,6 +102,7 @@ def _run(
     trace=False,
     transport=None,
     check=None,
+    backend="python",
 ):
     nodes = [
         SimulatedNode(i, app, transport=transport)
@@ -104,6 +115,7 @@ def _run(
         faults=faults,
         trace=TraceConfig() if trace else None,
         check=check,
+        backend=backend,
     )
     sim = ClusterSimulator(nodes, controller, policy_factory(), config)
     result = sim.run()
@@ -117,16 +129,26 @@ def _run(
 
 
 def _assert_equivalent(apps_factory, size, policy_factory, **kwargs):
-    scalar, _, scalar_events, scalar_counts = _run(
-        apps_factory, size, policy_factory, vectorized=False, **kwargs
-    )
-    vec, _, vec_events, vec_counts = _run(
-        apps_factory, size, policy_factory, vectorized=True, **kwargs
-    )
-    assert scalar.completed and vec.completed
-    assert scalar == vec
-    assert scalar_events == vec_events
-    assert scalar_counts == vec_counts
+    """Sweep the backend x driver grid; every cell must equal the first.
+
+    The scalar pure-python run is the reference implementation; the
+    vectorized driver and the compiled backend (in every combination)
+    must reproduce it field-for-field, trace stream included.
+    """
+    reference = None
+    for backend in BACKENDS:
+        for vectorized in (False, True):
+            result, _, events, counts = _run(
+                apps_factory, size, policy_factory,
+                vectorized=vectorized, backend=backend, **kwargs
+            )
+            assert result.completed
+            if reference is None:
+                reference = (result, events, counts)
+                continue
+            assert result == reference[0], (backend, vectorized)
+            assert events == reference[1], (backend, vectorized)
+            assert counts == reference[2], (backend, vectorized)
 
 
 # ---------------------------------------------------------------------- #

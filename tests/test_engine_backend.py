@@ -1,0 +1,407 @@
+"""The compiled engine backend: selection, degradation, bit-identity.
+
+``repro.engine.backend`` owns the whole import dance; these tests pin its
+contract:
+
+* ``ClusterConfig.backend`` validation, and the resolution semantics of
+  ``"auto"``/``REPRO_BACKEND``/``REPRO_NO_NATIVE`` (explicit ``"native"``
+  must fail loudly when the module is missing; ``"auto"`` must degrade
+  silently with the reason recorded),
+* the backend never enters a cache key — results are bit-identical, so
+  runs share ``.repro_cache/`` entries across backends (locked by the
+  same golden key the service-workload suite pins),
+* settings carrying a backend pickle across the farm pool boundary,
+* snapshots captured under one backend restore under the other,
+* a Hypothesis differential: the native ``EventQueue`` pops the exact
+  same sequence as the pure-python reference under interleaved
+  schedule/cancel/pop/compaction traffic.
+
+Everything that needs the compiled module skips cleanly when it is not
+importable — the pure-python path is the reference and must stand alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint import CheckpointConfig, capture_snapshot, restore_snapshot
+from repro.core import (
+    ClusterConfig,
+    ClusterSimulator,
+    FixedQuantumPolicy,
+)
+from repro.engine import backend as backend_mod
+from repro.engine.backend import (
+    VALID_BACKENDS,
+    native_available,
+    resolve_backend,
+)
+from repro.engine.events import EventQueue as PyEventQueue
+from repro.engine.units import MICROSECOND
+from repro.harness.configs import ground_truth_policy
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import (
+    DiskResultCache,
+    ParallelRunner,
+    RunnerSettings,
+    RunSpec,
+)
+from repro.network import NetworkController, PAPER_NETWORK
+from repro.node import ComputeTime, Recv, Send, SimulatedNode
+from repro.workloads import EpWorkload
+
+US = MICROSECOND
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="compiled engine core not built"
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_backend_env(monkeypatch):
+    """CI runs the whole suite once per backend via a suite-wide
+    ``REPRO_BACKEND`` override; these tests pin the *selection semantics*
+    themselves, so they must see the real availability state (tests that
+    want the override set it explicitly via monkeypatch)."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_NO_NATIVE", raising=False)
+
+
+def pingpong_apps(rounds=12, nbytes=256):
+    def pinger():
+        for _ in range(rounds):
+            yield Send(dst=1, nbytes=nbytes)
+            yield Recv(src=1)
+            yield ComputeTime(30 * US)
+        return "ping"
+
+    def ponger():
+        for _ in range(rounds):
+            yield Recv(src=0)
+            yield Send(dst=0, nbytes=nbytes)
+        return "pong"
+
+    return [pinger(), ponger()]
+
+
+def run_pingpong(backend, *, checkpoint_dir=None, collect_snaps=False):
+    nodes = [SimulatedNode(i, app) for i, app in enumerate(pingpong_apps())]
+    controller = NetworkController(2, PAPER_NETWORK(2))
+    checkpoint = (
+        CheckpointConfig(directory=str(checkpoint_dir), every_quanta=1)
+        if checkpoint_dir is not None
+        else None
+    )
+    config = ClusterConfig(seed=11, backend=backend, checkpoint=checkpoint)
+    sim = ClusterSimulator(
+        nodes, controller, FixedQuantumPolicy(10 * US), config
+    )
+    snaps = []
+    if collect_snaps:
+        sim.checkpoint_sink = snaps.append
+    return sim.run(), sim, snaps
+
+
+# --------------------------------------------------------------------- #
+# Selection semantics
+# --------------------------------------------------------------------- #
+
+
+class TestResolution:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            resolve_backend("cython")
+
+    def test_cluster_config_backend_is_validated_at_build(self):
+        nodes = [SimulatedNode(i, app) for i, app in enumerate(pingpong_apps())]
+        controller = NetworkController(2, PAPER_NETWORK(2))
+        config = ClusterConfig(seed=11, backend="fortran")
+        with pytest.raises(ValueError, match="backend must be one of"):
+            ClusterSimulator(nodes, controller, FixedQuantumPolicy(US), config)
+
+    def test_python_is_always_available(self):
+        resolved = resolve_backend("python")
+        assert resolved.name == "python"
+        assert resolved.fallback_reason is None
+
+    def test_forced_fallback_degrades_auto_with_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        resolved = resolve_backend("auto")
+        assert resolved.name == "python"
+        assert "REPRO_NO_NATIVE" in (resolved.fallback_reason or "")
+
+    def test_forced_fallback_fails_explicit_native(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        with pytest.raises(RuntimeError, match="backend='native' requested"):
+            resolve_backend("native")
+
+    def test_env_override_applies_to_auto_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend("auto").name == "python"
+        # An explicit config value wins over the environment.
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        assert resolve_backend("python").name == "python"
+
+    def test_env_override_rejects_unknown_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "rust")
+        with pytest.raises(ValueError, match="REPRO_BACKEND must be one of"):
+            resolve_backend("auto")
+
+    @needs_native
+    def test_auto_prefers_native_when_available(self):
+        resolved = resolve_backend("auto")
+        assert resolved.name == "native"
+        assert resolved.fallback_reason is None
+
+    def test_capabilities_report_shape(self):
+        report = backend_mod.capabilities()
+        assert report["python"] is True
+        assert isinstance(report["native"], bool)
+        assert report["expected_abi"] == backend_mod.EXPECTED_ABI_VERSION
+
+
+class TestForcedFallbackRuns:
+    def test_auto_run_degrades_cleanly_and_surfaces_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        result, sim, _ = run_pingpong("auto")
+        assert result.completed
+        assert sim.backend == "python"
+        assert "REPRO_NO_NATIVE" in (sim.backend_fallback_reason or "")
+
+    def test_harness_surfaces_backend_fallback_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        runner = ExperimentRunner(seed=11, backend="auto")
+        record = runner.run(
+            EpWorkload(total_ops=2e7, chunks=4), 2, FixedQuantumPolicy(US)
+        )
+        assert record.result.completed
+        assert "REPRO_NO_NATIVE" in (runner.last_backend_fallback_reason or "")
+
+    @needs_native
+    def test_harness_reports_no_fallback_under_native(self):
+        runner = ExperimentRunner(seed=11, backend="native")
+        record = runner.run(
+            EpWorkload(total_ops=2e7, chunks=4), 2, FixedQuantumPolicy(US)
+        )
+        assert record.result.completed
+        assert runner.last_backend_fallback_reason is None
+
+
+# --------------------------------------------------------------------- #
+# Cache keys: the backend must never enter one
+# --------------------------------------------------------------------- #
+
+
+class TestCacheKeys:
+    # Same pinned key as tests/test_service_workload.py: computed before
+    # the backend knob existed, so any backend leak into key_fragment()
+    # shows up as a golden mismatch, not just an inequality.
+    GOLDEN_EP = "5d64e9c396161e33a4d4e252962789bb"
+
+    @staticmethod
+    def key_of(settings_obj):
+        spec = RunSpec(
+            workload=EpWorkload(),
+            size=8,
+            policy=ground_truth_policy().build(),
+            label="1",
+            settings=settings_obj,
+        )
+        return DiskResultCache.key_of(spec.key_payload())
+
+    def test_key_fragment_is_byte_identical_across_backends(self):
+        plain = json.dumps(RunnerSettings().key_fragment(8), sort_keys=True)
+        for backend in VALID_BACKENDS:
+            knobbed = json.dumps(
+                RunnerSettings(backend=backend).key_fragment(8), sort_keys=True
+            )
+            assert knobbed == plain
+
+    def test_golden_key_unchanged_by_backend(self):
+        for backend in VALID_BACKENDS:
+            assert self.key_of(RunnerSettings(backend=backend)) == self.GOLDEN_EP
+
+
+# --------------------------------------------------------------------- #
+# Pickling across the farm pool boundary
+# --------------------------------------------------------------------- #
+
+
+class TestPoolBoundary:
+    def test_runner_settings_pickle_round_trip(self):
+        for backend in VALID_BACKENDS:
+            settings_obj = RunnerSettings(backend=backend)
+            clone = pickle.loads(pickle.dumps(settings_obj))
+            assert clone == settings_obj
+            assert clone.build_runner().backend == backend
+
+    def test_cluster_config_pickles(self):
+        config = ClusterConfig(seed=3, backend="python")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_backend_crosses_the_pool_boundary(self, tmp_path):
+        """A 2-worker batch under an explicit backend equals the serial
+        run: the setting survives the pickle trip into pool workers."""
+        from repro.harness.configs import paper_policies
+
+        specs = paper_policies()[:2]
+        workload = EpWorkload(total_ops=2e7, chunks=4)
+        serial = ExperimentRunner(seed=7, backend="python").run_matrix(
+            workload, (2,), specs
+        )
+        farmed = ParallelRunner(
+            seed=7,
+            backend="python",
+            max_workers=2,
+            cache_dir=tmp_path / "cache",
+        ).run_matrix(workload, (2,), specs)
+        assert farmed == serial
+
+
+# --------------------------------------------------------------------- #
+# Cross-backend equivalence: results and snapshots
+# --------------------------------------------------------------------- #
+
+
+@needs_native
+class TestCrossBackend:
+    def test_results_identical(self):
+        py, _, _ = run_pingpong("python")
+        nat, _, _ = run_pingpong("native")
+        assert dataclasses.asdict(py) == dataclasses.asdict(nat)
+
+    @pytest.mark.parametrize(
+        "capture_backend,resume_backend",
+        [("python", "native"), ("native", "python")],
+    )
+    def test_snapshots_restore_across_backends(
+        self, tmp_path, capture_backend, resume_backend
+    ):
+        """A snapshot is backend-neutral: captured under one engine core,
+        it must resume under the other to the bit-identical result."""
+        reference, _, snaps = run_pingpong(
+            capture_backend, checkpoint_dir=tmp_path, collect_snaps=True
+        )
+        assert reference.completed and snaps
+        for index in sorted({0, len(snaps) // 2, len(snaps) - 1}):
+            nodes = [
+                SimulatedNode(i, app) for i, app in enumerate(pingpong_apps())
+            ]
+            controller = NetworkController(2, PAPER_NETWORK(2))
+            config = ClusterConfig(
+                seed=11,
+                backend=resume_backend,
+                checkpoint=CheckpointConfig(
+                    directory=str(tmp_path), every_quanta=1
+                ),
+            )
+            sim = ClusterSimulator(
+                nodes, controller, FixedQuantumPolicy(10 * US), config
+            )
+            sim.checkpoint_sink = lambda _snap: None
+            restore_snapshot(sim, snaps[index])
+            resumed = sim.run()
+            assert dataclasses.asdict(resumed) == dataclasses.asdict(reference)
+
+
+# --------------------------------------------------------------------- #
+# EventQueue differential property
+# --------------------------------------------------------------------- #
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(min_value=0, max_value=500)),
+        st.tuples(
+            st.just("schedule_many"),
+            st.lists(
+                st.integers(min_value=0, max_value=500), min_size=1, max_size=6
+            ),
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(
+            st.just("pop_before"), st.integers(min_value=0, max_value=600)
+        ),
+        st.tuples(
+            st.just("pop_until"), st.integers(min_value=0, max_value=600)
+        ),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _fingerprint(event):
+    return (event.time, event.tag, event.payload, event._seq, event.alive)
+
+
+@needs_native
+@settings(deadline=None, max_examples=60)
+@given(ops=_ops)
+def test_event_queue_differential(ops):
+    """Python and native queues, driven in lockstep through interleaved
+    schedule/cancel/pop/compaction traffic, must agree on every pop (time,
+    tag, payload, sequence number), every length, and every dead count."""
+    queues = (PyEventQueue(), backend_mod.queue_class("native")())
+    live = ([], [])  # parallel records of scheduled events, same order
+    serial = 0
+    for op, arg in ops:
+        if op == "schedule":
+            for queue, record in zip(queues, live):
+                record.append(queue.schedule(arg, None, "t", serial))
+            serial += 1
+        elif op == "schedule_many":
+            items = [(time, serial + i) for i, time in enumerate(arg)]
+            for queue, record in zip(queues, live):
+                before = queue._next_seq
+                queue.schedule_many(iter(items), tag="m")
+                # schedule_many returns nothing; recover the events for
+                # cancel targeting via the live snapshot (ordered).
+                added = [
+                    e for e in queue.live_events() if e._seq >= before
+                ]
+                record.extend(sorted(added, key=lambda e: e._seq))
+            serial += len(arg)
+        elif op == "cancel":
+            # Only events still owned by the queue are cancellable: a pop
+            # transfers ownership to the caller (both implementations
+            # corrupt their live count if told to cancel a popped event,
+            # by contract — pops below prune the records).
+            if live[0]:
+                index = arg % len(live[0])
+                for queue, record in zip(queues, live):
+                    queue.cancel(record[index])
+        elif op == "pop":
+            assert len(queues[0]) == len(queues[1])
+            if queues[0]:
+                popped = [queue.pop() for queue in queues]
+                assert _fingerprint(popped[0]) == _fingerprint(popped[1])
+                for event, record in zip(popped, live):
+                    record.remove(event)
+        elif op == "pop_before":
+            first = queues[0].pop_before(arg)
+            second = queues[1].pop_before(arg)
+            if first is None or second is None:
+                assert first is None and second is None
+            else:
+                assert _fingerprint(first) == _fingerprint(second)
+                for event, record in zip((first, second), live):
+                    record.remove(event)
+        elif op == "pop_until":
+            drained = [list(queue.pop_until(arg)) for queue in queues]
+            assert [
+                [_fingerprint(e) for e in events] for events in drained
+            ][0] == [[_fingerprint(e) for e in events] for events in drained][1]
+            for events, record in zip(drained, live):
+                for event in events:
+                    record.remove(event)
+        assert len(queues[0]) == len(queues[1])
+        assert queues[0].dead_entries == queues[1].dead_entries
+        assert queues[0].peek_time() == queues[1].peek_time()
+    final = [[_fingerprint(e) for e in queue.live_events()] for queue in queues]
+    assert final[0] == final[1]
